@@ -1,0 +1,191 @@
+// Command adaptsim runs the paper's adaptive processor end to end: it
+// trains the predictive model on the benchmark suite, then executes a
+// chosen program under the runtime controller (monitor -> profile ->
+// predict -> reconfigure, Figure 2 of the paper), printing one line per
+// monitoring interval plus the final energy-efficiency comparison against
+// the best static configuration.
+//
+// Usage:
+//
+//	adaptsim [-program mcf] [-intervals 20] [-interval-insts 20000]
+//	         [-counter-set advanced|basic] [-cadence N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/cpu"
+	"repro/internal/experiment"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adaptsim: ")
+	var (
+		program   = flag.String("program", "mcf", "benchmark to run under the controller")
+		intervals = flag.Int("intervals", 20, "monitoring intervals to execute")
+		ivInsts   = flag.Int("interval-insts", 20000, "instructions per monitoring interval")
+		setName   = flag.String("counter-set", "advanced", "counter set: advanced or basic")
+		cadence   = flag.Int("cadence", 0, "if > 0, caches adapt only every Nth reconfiguration")
+		ovScale   = flag.Float64("overhead-scale", 0.02, "reconfiguration overhead scale (1 = paper-absolute)")
+		modelPath = flag.String("model-cache", "", "path to save/load the trained predictor (skips retraining)")
+	)
+	flag.Parse()
+	if !trace.IsBenchmark(*program) {
+		log.Fatalf("unknown benchmark %q (choose from %v)", *program, trace.Benchmarks())
+	}
+	set := counters.Advanced
+	if *setName == "basic" {
+		set = counters.Basic
+	}
+
+	// Train on a scaled dataset that excludes the target program —
+	// honest held-out prediction, as in the paper's evaluation.
+	sc := experiment.DefaultScale()
+	sc.PhasesPerProgram = 3
+	var progs []string
+	for _, p := range trace.Benchmarks() {
+		if p != *program {
+			progs = append(progs, p)
+		}
+	}
+	sc.Programs = progs
+	var pred *core.Predictor
+	var bestStatic = arch.Baseline()
+	if *modelPath != "" {
+		if f, err := os.Open(*modelPath); err == nil {
+			pred, err = core.LoadPredictor(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("loading cached model: %v", err)
+			}
+			if pred.Set != set {
+				log.Fatalf("cached model uses %s counters, want %s", pred.Set, set)
+			}
+			log.Printf("loaded trained predictor from %s", *modelPath)
+		}
+	}
+	if pred == nil {
+		log.Printf("building training dataset (%d programs x %d phases)...", len(progs), sc.PhasesPerProgram)
+		ds, err := experiment.BuildDataset(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("training predictor on %s counters...", set)
+		pred, err = ds.TrainAll(set)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bestStatic = ds.BestStatic
+		if *modelPath != "" {
+			f, err := os.Create(*modelPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := pred.Save(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			log.Printf("saved trained predictor to %s", *modelPath)
+		}
+	}
+
+	opts := core.DefaultOptions()
+	opts.Interval = *ivInsts
+	opts.SampledSets = sc.SampledSets
+	opts.Start = bestStatic
+	opts.Threshold = 0.6
+	// Table V overheads are absolute; intervals here are ~1000x shorter
+	// than the paper's, so scale the overheads correspondingly.
+	opts.OverheadScale = *ovScale
+	if *cadence > 0 {
+		opts.Cadence = core.EveryNth(*cadence)
+	}
+	ctl, err := core.NewController(pred, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g, err := trace.NewGenerator(*program, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := &phaseWalker{program: *program, gen: g, perPhase: max(1, *intervals/trace.PhasesPerProgram**ivInsts)}
+
+	log.Printf("running %s for %d intervals of %d instructions", *program, *intervals, *ivInsts)
+	rep, err := ctl.Run(src, *intervals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rep.Records {
+		tag := " "
+		if r.Profiled {
+			tag = "P"
+		}
+		ch := " "
+		if r.PhaseChange {
+			ch = "*"
+		}
+		fmt.Printf("interval %3d %s%s cycles=%7d  E=%8.2eJ  eff=%9.3e  cfg: W=%d ROB=%d IQ=%d D$=%dK L2=%dK FO4=%d\n",
+			r.Index, tag, ch, r.Cycles, r.EnergyJ, r.Efficiency,
+			r.Config[arch.Width], r.Config[arch.ROBSize], r.Config[arch.IQSize],
+			r.Config[arch.DCacheKB], r.Config[arch.L2CacheKB], r.Config[arch.DepthFO4])
+	}
+	fmt.Printf("\ncontroller: %d phase changes, %d profiles, %d reconfigurations\n",
+		rep.PhaseChanges, rep.Profiles, rep.Reconfigs)
+	fmt.Printf("aggregate: %.3e ips, %.1f W, efficiency %.3e ips^3/W\n", rep.IPS, rep.Watts, rep.Efficiency)
+
+	// Static reference: run the same stream on the best static config.
+	g2, _ := trace.NewGenerator(*program, 0)
+	src2 := &phaseWalker{program: *program, gen: g2, perPhase: src.perPhase}
+	sim, err := cpu.New(bestStatic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(src2, *intervals**ivInsts, cpu.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best static (%v):\n  efficiency %.3e ips^3/W\n", bestStatic, res.Efficiency)
+	if res.Efficiency > 0 {
+		fmt.Printf("adaptive / static efficiency ratio: %.2fx\n", rep.Efficiency/res.Efficiency)
+	}
+}
+
+// phaseWalker streams a program's phases in order, advancing to the next
+// phase every perPhase instructions, emulating a whole-program run.
+type phaseWalker struct {
+	program  string
+	gen      *trace.Generator
+	perPhase int
+	n        int
+	phase    int
+}
+
+// Next returns the next instruction, switching phases periodically.
+func (w *phaseWalker) Next() trace.Inst {
+	if w.n >= w.perPhase && w.phase < trace.PhasesPerProgram-1 {
+		w.phase++
+		w.n = 0
+		g, err := trace.NewGenerator(w.program, w.phase)
+		if err == nil {
+			w.gen = g
+		}
+	}
+	w.n++
+	return w.gen.Next()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,84 @@
+// Command phases runs the phase-analysis pipeline for one benchmark:
+// it slices the program into intervals, computes basic-block vectors,
+// extracts representative phases with SimPoint-style clustering, and
+// reports what the online working-set-signature detector would have
+// flagged — the stage-1 machinery of the paper's controller.
+//
+// Usage:
+//
+//	phases [-program gcc] [-intervals 40] [-interval-insts 30000]
+//	       [-k 10] [-threshold 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/phase"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("phases: ")
+	var (
+		program   = flag.String("program", "gcc", "benchmark name")
+		perPhase  = flag.Int("intervals", 4, "intervals per generator phase")
+		ivInsts   = flag.Int("interval-insts", 30000, "instructions per interval")
+		k         = flag.Int("k", 10, "maximum clusters (SimPoint phases)")
+		threshold = flag.Float64("threshold", 0.5, "online detector threshold")
+	)
+	flag.Parse()
+	if !trace.IsBenchmark(*program) {
+		log.Fatalf("unknown benchmark %q", *program)
+	}
+
+	det, err := phase.NewDetector(1024, *threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var bbvs [][]float64
+	var online []bool
+	var summaries []trace.Stats
+	for ph := 0; ph < trace.PhasesPerProgram; ph++ {
+		g, err := trace.NewGenerator(*program, ph)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for iv := 0; iv < *perPhase; iv++ {
+			insts := g.Interval(*ivInsts)
+			bbvs = append(bbvs, phase.BBV(insts))
+			summaries = append(summaries, trace.Measure(insts))
+			for i := range insts {
+				det.Observe(insts[i])
+			}
+			online = append(online, det.EndInterval())
+		}
+	}
+
+	ex, err := phase.Extract(bbvs, *k, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d intervals of %d instructions -> %d phases\n",
+		*program, len(bbvs), *ivInsts, ex.Phases())
+	fmt.Println("interval  cluster  mem%  fp%  br%  data-KB  code-KB  online-change")
+	for i, c := range ex.Assignments {
+		mark := ""
+		if online[i] {
+			mark = "  <-- detector fired"
+		}
+		st := summaries[i]
+		fmt.Printf("%8d %8d %5.0f %4.0f %4.1f %8.0f %8.0f%s\n",
+			i, c, 100*st.MemFrac, 100*st.FpFrac, 100*st.BranchDensity,
+			st.DataFootprintKB, st.CodeFootprintKB, mark)
+	}
+	fmt.Println("\nphase  weight  representative-interval")
+	for c := range ex.Representatives {
+		fmt.Printf("%5d  %5.1f%%  %d\n", c, 100*ex.Weights[c], ex.Representatives[c])
+	}
+	fmt.Printf("\nonline detector: %d/%d intervals flagged as phase changes\n", det.Changes, det.Intervals)
+}

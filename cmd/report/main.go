@@ -1,0 +1,180 @@
+// Command report regenerates every table and figure of the paper's
+// evaluation at a configurable scale and prints them as text, recording
+// the shape comparison DESIGN.md and EXPERIMENTS.md describe.
+//
+// Usage:
+//
+//	report [-scale test|default] [-programs mcf,swim,...] [-phases N]
+//	       [-interval N] [-uniform N] [-skip-slow]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/experiment"
+	"repro/internal/power"
+	"repro/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+	var (
+		scaleName = flag.String("scale", "default", "test or default scale preset")
+		programs  = flag.String("programs", "", "comma-separated benchmark subset (default: preset)")
+		phases    = flag.Int("phases", 0, "phases per program (default: preset)")
+		interval  = flag.Int("interval", 0, "instructions per phase interval (default: preset)")
+		uniform   = flag.Int("uniform", 0, "shared uniform samples (default: preset)")
+		skipSlow  = flag.Bool("skip-slow", false, "skip Figure 1 and Table IV (the slowest experiments)")
+	)
+	flag.Parse()
+
+	sc := experiment.DefaultScale()
+	if *scaleName == "test" {
+		sc = experiment.TestScale()
+	}
+	if *programs != "" {
+		sc.Programs = strings.Split(*programs, ",")
+	}
+	if *phases > 0 {
+		sc.PhasesPerProgram = *phases
+	}
+	if *interval > 0 {
+		sc.IntervalInsts = *interval
+		sc.WarmupInsts = *interval / 2
+	}
+	if *uniform > 0 {
+		sc.UniformSamples = *uniform
+	}
+
+	start := time.Now()
+	log.Printf("building dataset: %d programs x %d phases, %d-inst intervals, %d shared configs",
+		len(sc.Programs), sc.PhasesPerProgram, sc.IntervalInsts, sc.UniformSamples)
+	ds, err := experiment.BuildDataset(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dataset built: %d simulations in %v", ds.SimCount(), time.Since(start).Round(time.Second))
+
+	fmt.Println(ds.TableIII().Render())
+
+	log.Printf("evaluating model (LOOCV, advanced counters)")
+	adv, err := ds.EvaluateModel(counters.Advanced)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("evaluating model (LOOCV, basic counters)")
+	basic, err := ds.EvaluateModel(counters.Basic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite := ds.Suite(adv, basic)
+	fmt.Println(suite.Render())
+
+	// Figure 4 as bars, like the paper's chart.
+	var bars []render.Bar
+	for _, row := range suite.Rows {
+		bars = append(bars, render.Bar{Label: row.Program, Value: row.ModelAdvanced})
+	}
+	bars = append(bars, render.Bar{Label: "GEOMEAN", Value: suite.GeoModelAdvanced})
+	fmt.Println(render.BarChart("Figure 4 (advanced counters, ratio vs best static; | marks 1.0):", bars, 46, 1))
+
+	var limitBars []render.Bar
+	limitBars = append(limitBars,
+		render.Bar{Label: "model", Value: suite.GeoModelAdvanced},
+		render.Bar{Label: "per-program", Value: suite.GeoPerProgram},
+		render.Bar{Label: "oracle", Value: suite.GeoOracle},
+	)
+	fmt.Println(render.BarChart("Figure 6 (limit study, geomean ratios):", limitBars, 46, 1))
+
+	fig7, err := ds.Figure7(adv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig7.Render())
+
+	for _, p := range []arch.Param{arch.Width, arch.IQSize, arch.ICacheKB} {
+		fmt.Println(ds.Figure8(p).Render())
+	}
+
+	fig3Phases := []experiment.PhaseID{}
+	for _, want := range []string{"mgrid", "swim", "parser", "vortex"} {
+		for _, id := range ds.Phases {
+			if id.Program == want {
+				fig3Phases = append(fig3Phases, id)
+				break
+			}
+		}
+	}
+	if len(fig3Phases) > 0 {
+		fig3, err := ds.Figure3(fig3Phases)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(fig3.Render())
+	}
+
+	// Implementation analysis: Table V, Figure 9, model storage.
+	fmt.Println("Table V: reconfiguration overheads (cycles)")
+	for _, row := range core.TableV() {
+		fmt.Printf("  %-8s %8d\n", row.Structure, row.Cycles)
+	}
+	fmt.Println()
+
+	rows, err := core.Figure9(power.New(arch.Profiling()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 9: profiling energy overheads (% of cache energy)")
+	for _, r := range rows {
+		fmt.Printf("  %-7s %-12s sets=%4d/%-5d dynamic=%.2f%% leakage=%.2f%%\n",
+			r.Cache, r.Feature, r.SampledSets, r.TotalSets,
+			r.Overhead.DynamicPct, r.Overhead.LeakagePct)
+	}
+	fmt.Println()
+
+	for _, set := range []counters.Set{counters.Basic, counters.Advanced} {
+		st, err := ds.StorageAnalysis(set)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(st.Render())
+	}
+	fmt.Println()
+
+	if !*skipSlow {
+		log.Printf("running Table IV sampling sweep")
+		t4, err := ds.TableIV([]int{4, 16, 64, 256}, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t4.Render())
+
+		log.Printf("running Figure 1 sweeps")
+		for _, prog := range []string{"gap", "applu", "apsi"} {
+			f1, err := experiment.Figure1(prog, 1, sc.IntervalInsts, sc.WarmupInsts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(f1.Render())
+			var iq8, iq4 []float64
+			for _, pt := range f1.Points {
+				iq8 = append(iq8, float64(pt.BestIQ[8]))
+				iq4 = append(iq4, float64(pt.BestIQ[4]))
+			}
+			fmt.Printf("  IQ(w=8) over time: %s\n  IQ(w=4) over time: %s\n\n",
+				render.Sparkline(iq8), render.Sparkline(iq4))
+		}
+	}
+
+	log.Printf("total time %v", time.Since(start).Round(time.Second))
+	os.Exit(0)
+}

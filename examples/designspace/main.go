@@ -1,0 +1,72 @@
+// Designspace: the motivation for the paper in one table. Two programs
+// with opposite characters (a pointer-chasing memory-bound code and a
+// high-ILP streaming FP code) are swept across pipeline widths and L2
+// sizes: the configuration that maximises energy-efficiency for one is
+// far from optimal for the other, so no static machine suits both — the
+// paper's Figure 1/Section II argument.
+//
+// Run with: go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/trace"
+)
+
+func main() {
+	programs := []string{"mcf", "swim"}
+	const n, warm = 12_000, 12_000
+
+	fmt.Println("efficiency (ips^3/W) relative to each program's best, by width x L2 size")
+	for _, prog := range programs {
+		gen, err := trace.NewGenerator(prog, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		insts := gen.Interval(n)
+
+		type cell struct {
+			w, l2 int
+			eff   float64
+		}
+		var cells []cell
+		best := 0.0
+		for _, w := range arch.Domain(arch.Width) {
+			for _, l2 := range arch.Domain(arch.L2CacheKB) {
+				cfg := arch.Baseline().With(arch.Width, w).With(arch.L2CacheKB, l2)
+				sim, err := cpu.New(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := sim.Run(cpu.NewSliceSource(insts), len(insts), cpu.Options{WarmupInsts: warm})
+				if err != nil {
+					log.Fatal(err)
+				}
+				cells = append(cells, cell{w, l2, res.Efficiency})
+				if res.Efficiency > best {
+					best = res.Efficiency
+				}
+			}
+		}
+
+		fmt.Printf("\n%s:\n      ", prog)
+		for _, l2 := range arch.Domain(arch.L2CacheKB) {
+			fmt.Printf("%7dK", l2)
+		}
+		fmt.Println()
+		i := 0
+		for _, w := range arch.Domain(arch.Width) {
+			fmt.Printf("w=%d  ", w)
+			for range arch.Domain(arch.L2CacheKB) {
+				fmt.Printf("%8.2f", cells[i].eff/best)
+				i++
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\n1.00 marks each program's own optimum; note how far apart they sit.")
+}

@@ -1,0 +1,63 @@
+// Quickstart: simulate one SPEC-2000-style benchmark phase on the paper's
+// baseline configuration and print the performance, power and
+// energy-efficiency numbers the rest of the project is built around.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/trace"
+)
+
+func main() {
+	// A deterministic instruction stream: benchmark "gzip", phase 0.
+	gen, err := trace.NewGenerator("gzip", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's best-overall-static machine (Table III).
+	cfg := arch.Baseline()
+	sim, err := cpu.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate 50k instructions after a 25k-instruction warmup.
+	res, err := sim.Run(gen, 50_000, cpu.Options{WarmupInsts: 25_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("configuration:", cfg)
+	fmt.Printf("cycles:        %d\n", res.Cycles)
+	fmt.Printf("IPC:           %.2f\n", res.IPC)
+	fmt.Printf("frequency:     %.2f GHz\n", sim.Power().FrequencyHz/1e9)
+	fmt.Printf("power:         %.1f W\n", res.Watts)
+	fmt.Printf("energy:        %.2e J\n", res.EnergyJ)
+	fmt.Printf("branch mpki:   %.1f\n", 1000*float64(res.Mispredicts)/float64(res.Committed))
+	fmt.Printf("L1D miss rate: %.1f%%\n", 100*float64(res.L1DMisses)/float64(res.L1DAccesses))
+	fmt.Printf("efficiency:    %.3e ips^3/Watt\n", res.Efficiency)
+
+	// Now shrink the machine and watch the trade-off move.
+	lean := cfg.
+		With(arch.Width, 2).
+		With(arch.L2CacheKB, 256).
+		With(arch.GshareSize, 1024)
+	leanSim, err := cpu.New(lean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen2, _ := trace.NewGenerator("gzip", 0)
+	leanRes, err := leanSim.Run(gen2, 50_000, cpu.Options{WarmupInsts: 25_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlean machine:  IPC %.2f, %.1f W, efficiency %.3e (%.2fx baseline)\n",
+		leanRes.IPC, leanRes.Watts, leanRes.Efficiency, leanRes.Efficiency/res.Efficiency)
+}

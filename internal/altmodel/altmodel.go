@@ -1,0 +1,332 @@
+// Package altmodel implements the alternative predictors the paper's
+// footnote 1 alludes to ("Other approaches were tried and we found that a
+// soft-max model led to the best results"): a nearest-neighbour predictor,
+// a per-parameter ridge-regression predictor, and a table-driven predictor
+// in the spirit of Kontorinis et al. [32]. They share the soft-max
+// predictor's interface so the model-comparison ablation can swap them in.
+package altmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/arch"
+)
+
+// TrainingPhase is one training observation: the phase's profiling
+// features and its best known configuration.
+type TrainingPhase struct {
+	Features []float64
+	Best     arch.Config
+}
+
+// Predictor is anything that maps profiling features to a configuration.
+type Predictor interface {
+	Predict(features []float64) arch.Config
+}
+
+// ---------------------------------------------------------------------------
+// k-nearest-neighbour predictor.
+
+// KNN predicts the configuration of the nearest training phases: each
+// parameter takes the majority value among the k nearest neighbours'
+// best configurations (ties break toward the nearer neighbour).
+type KNN struct {
+	k      int
+	phases []TrainingPhase
+}
+
+// NewKNN builds a k-NN predictor. k is clamped to the training size.
+func NewKNN(k int, phases []TrainingPhase) (*KNN, error) {
+	if len(phases) == 0 {
+		return nil, errors.New("altmodel: no training phases")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("altmodel: k = %d must be positive", k)
+	}
+	if k > len(phases) {
+		k = len(phases)
+	}
+	d := len(phases[0].Features)
+	for i, p := range phases {
+		if len(p.Features) != d {
+			return nil, fmt.Errorf("altmodel: phase %d has %d features, want %d", i, len(p.Features), d)
+		}
+	}
+	return &KNN{k: k, phases: phases}, nil
+}
+
+// Predict returns the per-parameter majority configuration of the k
+// nearest neighbours under L1 distance.
+func (m *KNN) Predict(features []float64) arch.Config {
+	type scored struct {
+		dist float64
+		idx  int
+	}
+	ds := make([]scored, len(m.phases))
+	for i, p := range m.phases {
+		ds[i] = scored{l1(features, p.Features), i}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].dist < ds[j].dist })
+	var cfg arch.Config
+	for p := arch.Param(0); p < arch.NumParams; p++ {
+		votes := map[int]float64{}
+		for n := 0; n < m.k; n++ {
+			// Nearer neighbours get slightly heavier votes.
+			votes[m.phases[ds[n].idx].Best[p]] += 1 + 1e-6*float64(m.k-n)
+		}
+		bestV, bestW := 0, -1.0
+		for v, w := range votes {
+			if w > bestW {
+				bestV, bestW = v, w
+			}
+		}
+		cfg[p] = bestV
+	}
+	return cfg
+}
+
+func l1(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Ridge-regression predictor.
+
+// Ridge predicts each parameter's *value* with an independent ridge
+// regression over the features (targets are the domain index, scaled to
+// [0,1]), then rounds to the nearest legal value. Regression treats the
+// discrete design space as a continuum — precisely the mismatch that makes
+// it weaker than classification for this problem.
+type Ridge struct {
+	d       int
+	weights [arch.NumParams][]float64 // one weight vector per parameter
+}
+
+// NewRidge fits the per-parameter regressions with regularisation lambda.
+func NewRidge(lambda float64, phases []TrainingPhase) (*Ridge, error) {
+	if len(phases) == 0 {
+		return nil, errors.New("altmodel: no training phases")
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("altmodel: lambda %v must be positive", lambda)
+	}
+	d := len(phases[0].Features)
+	for i, p := range phases {
+		if len(p.Features) != d {
+			return nil, fmt.Errorf("altmodel: phase %d has %d features, want %d", i, len(p.Features), d)
+		}
+	}
+	m := &Ridge{d: d}
+
+	// Normal equations: (X^T X + lambda I) w = X^T y, shared Gram matrix.
+	n := len(phases)
+	gram := make([]float64, d*d)
+	for _, p := range phases {
+		x := p.Features
+		for i := 0; i < d; i++ {
+			if x[i] == 0 {
+				continue
+			}
+			row := gram[i*d : i*d+d]
+			for j := 0; j < d; j++ {
+				row[j] += x[i] * x[j]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		gram[i*d+i] += lambda
+	}
+	chol, err := cholesky(gram, d)
+	if err != nil {
+		return nil, err
+	}
+
+	xty := make([]float64, d)
+	for p := arch.Param(0); p < arch.NumParams; p++ {
+		for i := range xty {
+			xty[i] = 0
+		}
+		kmax := float64(arch.DomainSize(p) - 1)
+		for _, ph := range phases {
+			y := 0.0
+			if kmax > 0 {
+				y = float64(arch.IndexOf(p, ph.Best[p])) / kmax
+			}
+			for i, xi := range ph.Features {
+				xty[i] += xi * y
+			}
+		}
+		m.weights[p] = cholSolve(chol, d, xty)
+	}
+	_ = n
+	return m, nil
+}
+
+// Predict evaluates each regression and rounds to the nearest legal value.
+func (m *Ridge) Predict(features []float64) arch.Config {
+	var cfg arch.Config
+	for p := arch.Param(0); p < arch.NumParams; p++ {
+		y := 0.0
+		for i, xi := range features {
+			y += m.weights[p][i] * xi
+		}
+		kmax := arch.DomainSize(p) - 1
+		idx := int(math.Round(y * float64(kmax)))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > kmax {
+			idx = kmax
+		}
+		cfg[p] = arch.Domain(p)[idx]
+	}
+	return cfg
+}
+
+// cholesky factors the symmetric positive-definite matrix a (d x d,
+// row-major) in place into L (lower triangular).
+func cholesky(a []float64, d int) ([]float64, error) {
+	l := append([]float64(nil), a...)
+	for j := 0; j < d; j++ {
+		sum := l[j*d+j]
+		for k := 0; k < j; k++ {
+			sum -= l[j*d+k] * l[j*d+k]
+		}
+		if sum <= 0 {
+			return nil, errors.New("altmodel: Gram matrix not positive definite")
+		}
+		l[j*d+j] = math.Sqrt(sum)
+		for i := j + 1; i < d; i++ {
+			s := l[i*d+j]
+			for k := 0; k < j; k++ {
+				s -= l[i*d+k] * l[j*d+k]
+			}
+			l[i*d+j] = s / l[j*d+j]
+		}
+	}
+	return l, nil
+}
+
+// cholSolve solves L L^T w = b.
+func cholSolve(l []float64, d int, b []float64) []float64 {
+	y := make([]float64, d)
+	for i := 0; i < d; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l[i*d+k] * y[k]
+		}
+		y[i] = s / l[i*d+i]
+	}
+	w := make([]float64, d)
+	for i := d - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < d; k++ {
+			s -= l[k*d+i] * w[k]
+		}
+		w[i] = s / l[i*d+i]
+	}
+	return w
+}
+
+// ---------------------------------------------------------------------------
+// Table-driven predictor (Kontorinis et al. [32] style).
+
+// Table quantises a few summary statistics of the feature vector into a
+// small index and stores the majority best-configuration per bucket. It is
+// cheap in hardware but coarse: distinct behaviours that share a bucket
+// collide.
+type Table struct {
+	buckets map[int]arch.Config
+	def     arch.Config // majority config overall, for empty buckets
+	bits    int
+}
+
+// NewTable builds a table predictor with 2^bits buckets (bits in [2, 12]).
+func NewTable(bits int, phases []TrainingPhase) (*Table, error) {
+	if len(phases) == 0 {
+		return nil, errors.New("altmodel: no training phases")
+	}
+	if bits < 2 || bits > 12 {
+		return nil, fmt.Errorf("altmodel: bits = %d out of range [2,12]", bits)
+	}
+	t := &Table{buckets: map[int]arch.Config{}, bits: bits}
+	votes := map[int]map[arch.Config]int{}
+	defVotes := map[arch.Config]int{}
+	for _, p := range phases {
+		b := t.bucket(p.Features)
+		if votes[b] == nil {
+			votes[b] = map[arch.Config]int{}
+		}
+		votes[b][p.Best]++
+		defVotes[p.Best]++
+	}
+	pickMajority := func(vs map[arch.Config]int) arch.Config {
+		var best arch.Config
+		bestN := -1
+		for cfg, n := range vs {
+			if n > bestN || (n == bestN && cfg.String() < best.String()) {
+				best, bestN = cfg, n
+			}
+		}
+		return best
+	}
+	for b, vs := range votes {
+		t.buckets[b] = pickMajority(vs)
+	}
+	t.def = pickMajority(defVotes)
+	return t, nil
+}
+
+// bucket hashes coarse feature statistics into the table index.
+func (t *Table) bucket(features []float64) int {
+	// Three summary statistics: mass in the low third, middle third and
+	// top third of the vector — a crude behaviour fingerprint.
+	n := len(features)
+	third := n / 3
+	if third == 0 {
+		third = 1
+	}
+	sums := [3]float64{}
+	for i, v := range features {
+		sums[min(i/third, 2)] += v
+	}
+	total := sums[0] + sums[1] + sums[2]
+	if total == 0 {
+		return 0
+	}
+	levels := 1 << (t.bits / 3)
+	if levels < 2 {
+		levels = 2
+	}
+	idx := 0
+	for _, s := range sums {
+		q := int(s / total * float64(levels))
+		if q >= levels {
+			q = levels - 1
+		}
+		idx = idx*levels + q
+	}
+	return idx % (1 << t.bits)
+}
+
+// Predict looks the bucket up, falling back to the global majority.
+func (t *Table) Predict(features []float64) arch.Config {
+	if cfg, ok := t.buckets[t.bucket(features)]; ok {
+		return cfg
+	}
+	return t.def
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

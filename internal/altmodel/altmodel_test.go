@@ -1,0 +1,198 @@
+package altmodel
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// twoClusterData builds training phases in two well-separated feature
+// clusters with distinct best configurations.
+func twoClusterData(n int, rng *rand.Rand) (phases []TrainingPhase, cfgA, cfgB arch.Config) {
+	cfgA = arch.Baseline().With(arch.Width, 2).With(arch.L2CacheKB, 4096)
+	cfgB = arch.Baseline().With(arch.Width, 8).With(arch.L2CacheKB, 256)
+	for i := 0; i < n; i++ {
+		fa := []float64{1 + 0.05*rng.Float64(), 0, 1}
+		fb := []float64{0, 1 + 0.05*rng.Float64(), 1}
+		phases = append(phases,
+			TrainingPhase{Features: fa, Best: cfgA},
+			TrainingPhase{Features: fb, Best: cfgB},
+		)
+	}
+	return phases, cfgA, cfgB
+}
+
+func TestKNNSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	phases, cfgA, cfgB := twoClusterData(20, rng)
+	for _, k := range []int{1, 3, 5} {
+		m, err := NewKNN(k, phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Predict([]float64{1, 0.02, 1}); got != cfgA {
+			t.Errorf("k=%d: cluster A predicted %v", k, got)
+		}
+		if got := m.Predict([]float64{0.02, 1, 1}); got != cfgB {
+			t.Errorf("k=%d: cluster B predicted %v", k, got)
+		}
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	if _, err := NewKNN(1, nil); err == nil {
+		t.Error("empty training accepted")
+	}
+	ph := []TrainingPhase{{Features: []float64{1}, Best: arch.Baseline()}}
+	if _, err := NewKNN(0, ph); err == nil {
+		t.Error("k=0 accepted")
+	}
+	bad := []TrainingPhase{
+		{Features: []float64{1}, Best: arch.Baseline()},
+		{Features: []float64{1, 2}, Best: arch.Baseline()},
+	}
+	if _, err := NewKNN(1, bad); err == nil {
+		t.Error("inconsistent dims accepted")
+	}
+	// k larger than the training set clamps rather than fails.
+	m, err := NewKNN(99, ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{0.5}); got != arch.Baseline() {
+		t.Error("clamped k-NN wrong")
+	}
+}
+
+func TestRidgeLearnsMonotoneTarget(t *testing.T) {
+	// Best width grows with feature 0: regression should recover the
+	// trend.
+	var phases []TrainingPhase
+	widths := arch.Domain(arch.Width)
+	for i, w := range widths {
+		x := float64(i) / float64(len(widths)-1)
+		for r := 0; r < 10; r++ {
+			phases = append(phases, TrainingPhase{
+				Features: []float64{x, 1},
+				Best:     arch.Baseline().With(arch.Width, w),
+			})
+		}
+	}
+	m, err := NewRidge(1e-3, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{0, 1})[arch.Width]; got != 2 {
+		t.Errorf("low feature -> width %d, want 2", got)
+	}
+	if got := m.Predict([]float64{1, 1})[arch.Width]; got != 8 {
+		t.Errorf("high feature -> width %d, want 8", got)
+	}
+	mid := m.Predict([]float64{0.5, 1})[arch.Width]
+	if mid != 4 && mid != 6 {
+		t.Errorf("mid feature -> width %d, want 4 or 6", mid)
+	}
+}
+
+func TestRidgePredictionsAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	phases, _, _ := twoClusterData(10, rng)
+	m, err := NewRidge(0.1, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		f := []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2, 1}
+		if cfg := m.Predict(f); !cfg.Valid() {
+			t.Fatalf("invalid prediction %v for %v", cfg, f)
+		}
+	}
+}
+
+func TestRidgeValidation(t *testing.T) {
+	if _, err := NewRidge(0.1, nil); err == nil {
+		t.Error("empty training accepted")
+	}
+	ph := []TrainingPhase{{Features: []float64{1}, Best: arch.Baseline()}}
+	if _, err := NewRidge(0, ph); err == nil {
+		t.Error("zero lambda accepted")
+	}
+	bad := []TrainingPhase{
+		{Features: []float64{1}, Best: arch.Baseline()},
+		{Features: []float64{1, 2}, Best: arch.Baseline()},
+	}
+	if _, err := NewRidge(0.1, bad); err == nil {
+		t.Error("inconsistent dims accepted")
+	}
+}
+
+func TestCholeskySolvesKnownSystem(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+	a := []float64{4, 2, 2, 3}
+	l, err := cholesky(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := cholSolve(l, 2, []float64{10, 8})
+	if diff := x[0] - 1.75; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("x0 = %v, want 1.75", x[0])
+	}
+	if diff := x[1] - 1.5; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("x1 = %v, want 1.5", x[1])
+	}
+	// Non-PD matrix must fail.
+	if _, err := cholesky([]float64{1, 2, 2, 1}, 2); err == nil {
+		t.Error("non-PD matrix accepted")
+	}
+}
+
+func TestTablePredictor(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	phases, cfgA, cfgB := twoClusterData(20, rng)
+	m, err := NewTable(6, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA := m.Predict([]float64{1, 0.01, 1})
+	gotB := m.Predict([]float64{0.01, 1, 1})
+	if gotA != cfgA && gotA != cfgB {
+		t.Errorf("table prediction outside training configs: %v", gotA)
+	}
+	// An unseen bucket falls back to the overall majority, which must be
+	// one of the training configs.
+	got := m.Predict([]float64{0, 0, 0})
+	if got != cfgA && got != cfgB {
+		t.Errorf("fallback prediction %v not a training config", got)
+	}
+	_ = gotB
+}
+
+func TestTableValidation(t *testing.T) {
+	ph := []TrainingPhase{{Features: []float64{1, 2, 3}, Best: arch.Baseline()}}
+	if _, err := NewTable(6, nil); err == nil {
+		t.Error("empty training accepted")
+	}
+	if _, err := NewTable(1, ph); err == nil {
+		t.Error("too few bits accepted")
+	}
+	if _, err := NewTable(20, ph); err == nil {
+		t.Error("too many bits accepted")
+	}
+}
+
+func TestTableDeterministicTies(t *testing.T) {
+	// Two configs with equal votes in the same bucket: tie-break must be
+	// deterministic.
+	a := arch.Baseline().With(arch.Width, 2)
+	b := arch.Baseline().With(arch.Width, 8)
+	phases := []TrainingPhase{
+		{Features: []float64{1, 1, 1}, Best: a},
+		{Features: []float64{1, 1, 1}, Best: b},
+	}
+	m1, _ := NewTable(6, phases)
+	m2, _ := NewTable(6, phases)
+	if m1.Predict([]float64{1, 1, 1}) != m2.Predict([]float64{1, 1, 1}) {
+		t.Error("tie-break nondeterministic")
+	}
+}

@@ -1,0 +1,304 @@
+// Package arch defines the adaptive processor's microarchitectural design
+// space: the fourteen configurable parameters of Table I in the paper, the
+// values each may take, and operations over configurations (sampling,
+// neighbourhoods, sweeps) used by the design-space search and by the
+// predictive model.
+//
+// A Config stores the concrete value of every parameter (entries, bytes,
+// ports, FO4 per stage) rather than an index, so the simulator can consume
+// it directly; Domain and IndexOf convert between values and the class
+// indices the soft-max model predicts over.
+package arch
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// Param identifies one of the fourteen configurable microarchitectural
+// parameters.
+type Param int
+
+// The fourteen parameters of Table I, in the paper's order.
+const (
+	Width        Param = iota // pipeline width (fetch/issue/commit), instructions
+	ROBSize                   // reorder buffer entries
+	IQSize                    // issue queue entries
+	LSQSize                   // load/store queue entries
+	RFSize                    // registers in each of the int and fp register files
+	RFReadPorts               // register file read ports
+	RFWritePorts              // register file write ports
+	GshareSize                // gshare pattern history table entries
+	BTBSize                   // branch target buffer entries
+	MaxBranches               // maximum in-flight (speculated) branches
+	ICacheKB                  // L1 instruction cache size in KB
+	DCacheKB                  // L1 data cache size in KB
+	L2CacheKB                 // unified L2 cache size in KB
+	DepthFO4                  // pipeline depth expressed as FO4 delay per stage
+	NumParams                 // number of parameters (14)
+)
+
+var paramNames = [NumParams]string{
+	"Width", "ROB", "IQ", "LSQ", "RF", "RFrd", "RFwr",
+	"Gshare", "BTB", "Branches", "ICache", "DCache", "UCache", "Depth",
+}
+
+// String returns the short name used in the paper's tables.
+func (p Param) String() string {
+	if p < 0 || p >= NumParams {
+		return fmt.Sprintf("Param(%d)", int(p))
+	}
+	return paramNames[p]
+}
+
+// domains lists the legal values of every parameter, exactly as in Table I.
+var domains = [NumParams][]int{
+	Width:        {2, 4, 6, 8},
+	ROBSize:      steps(32, 160, 8),
+	IQSize:       steps(8, 80, 8),
+	LSQSize:      steps(8, 80, 8),
+	RFSize:       steps(40, 160, 8),
+	RFReadPorts:  steps(2, 16, 2),
+	RFWritePorts: steps(1, 8, 1),
+	GshareSize:   doublings(1024, 32*1024),
+	BTBSize:      {1024, 2048, 4096},
+	MaxBranches:  {8, 16, 24, 32},
+	ICacheKB:     doublings(8, 128),
+	DCacheKB:     doublings(8, 128),
+	L2CacheKB:    doublings(256, 4096),
+	DepthFO4:     steps(9, 36, 3),
+}
+
+func steps(lo, hi, step int) []int {
+	var vs []int
+	for v := lo; v <= hi; v += step {
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+func doublings(lo, hi int) []int {
+	var vs []int
+	for v := lo; v <= hi; v *= 2 {
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+// Domain returns the legal values for parameter p, ascending.
+// The returned slice must not be modified.
+func Domain(p Param) []int { return domains[p] }
+
+// DomainSize returns the number of legal values for p (the soft-max class
+// count K for that parameter).
+func DomainSize(p Param) int { return len(domains[p]) }
+
+// TotalValues returns the sum of domain sizes over all parameters (the
+// total soft-max class count across the fourteen per-parameter models).
+func TotalValues() int {
+	n := 0
+	for p := Param(0); p < NumParams; p++ {
+		n += len(domains[p])
+	}
+	return n
+}
+
+// SpaceSize returns the number of points in the full design space
+// (the paper's 627 billion).
+func SpaceSize() uint64 {
+	n := uint64(1)
+	for p := Param(0); p < NumParams; p++ {
+		n *= uint64(len(domains[p]))
+	}
+	return n
+}
+
+// IndexOf returns the index of value v within p's domain, or -1 if v is not
+// a legal value of p.
+func IndexOf(p Param, v int) int {
+	for i, dv := range domains[p] {
+		if dv == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Config is a complete microarchitectural configuration: one concrete value
+// per parameter. Config is comparable and therefore usable as a map key,
+// which the experiment harness relies on to memoise simulations.
+type Config [NumParams]int
+
+// Get returns the value of parameter p.
+func (c Config) Get(p Param) int { return c[p] }
+
+// With returns a copy of c with parameter p set to v.
+func (c Config) With(p Param, v int) Config {
+	c[p] = v
+	return c
+}
+
+// Valid reports whether every parameter holds a legal Table I value.
+func (c Config) Valid() bool {
+	for p := Param(0); p < NumParams; p++ {
+		if IndexOf(p, c[p]) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Check returns a descriptive error for the first out-of-domain parameter,
+// or nil if the configuration is valid.
+func (c Config) Check() error {
+	for p := Param(0); p < NumParams; p++ {
+		if IndexOf(p, c[p]) < 0 {
+			return fmt.Errorf("arch: parameter %s has illegal value %d (domain %v)", p, c[p], domains[p])
+		}
+	}
+	return nil
+}
+
+// String renders the configuration in Table III's column order.
+func (c Config) String() string {
+	var b strings.Builder
+	for p := Param(0); p < NumParams; p++ {
+		if p > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", p, c[p])
+	}
+	return b.String()
+}
+
+// Indices returns, for every parameter, the index of its value within the
+// parameter's domain. This is the class-label encoding consumed by the
+// soft-max model.
+func (c Config) Indices() [NumParams]int {
+	var ix [NumParams]int
+	for p := Param(0); p < NumParams; p++ {
+		ix[p] = IndexOf(p, c[p])
+	}
+	return ix
+}
+
+// FromIndices builds a Config from per-parameter domain indices.
+// It panics if any index is out of range (a programming error: indices come
+// from model predictions which are clamped to the domain).
+func FromIndices(ix [NumParams]int) Config {
+	var c Config
+	for p := Param(0); p < NumParams; p++ {
+		c[p] = domains[p][ix[p]]
+	}
+	return c
+}
+
+// Baseline returns the best-overall-static configuration reported in
+// Table III of the paper. The experiment harness re-derives its own best
+// static configuration from the sampled space; this constant is the paper's
+// published point, used as a reference and as the default configuration.
+func Baseline() Config {
+	return Config{
+		Width:        4,
+		ROBSize:      144,
+		IQSize:       48,
+		LSQSize:      32,
+		RFSize:       160,
+		RFReadPorts:  4,
+		RFWritePorts: 1,
+		GshareSize:   16 * 1024,
+		BTBSize:      1024,
+		MaxBranches:  24,
+		ICacheKB:     64,
+		DCacheKB:     32,
+		L2CacheKB:    1024,
+		DepthFO4:     12,
+	}
+}
+
+// Profiling returns the profiling configuration of Section III-B1: the
+// largest structures and the highest level of branch speculation, so that
+// no resource saturates while counters are gathered. Pipeline depth is held
+// at the baseline FO4 of 12 — depth is not a capacity and profiling at an
+// extreme clock would distort the CPI counter.
+func Profiling() Config {
+	c := Config{}
+	for p := Param(0); p < NumParams; p++ {
+		d := domains[p]
+		c[p] = d[len(d)-1] // maximum of every domain
+	}
+	c[DepthFO4] = 12
+	return c
+}
+
+// MinConfig returns the configuration with every parameter at its minimum
+// value (the smallest, slowest machine in the space).
+func MinConfig() Config {
+	var c Config
+	for p := Param(0); p < NumParams; p++ {
+		c[p] = domains[p][0]
+	}
+	return c
+}
+
+// Random returns a configuration sampled uniformly at random from the
+// design space.
+func Random(rng *rand.Rand) Config {
+	var c Config
+	for p := Param(0); p < NumParams; p++ {
+		d := domains[p]
+		c[p] = d[rng.IntN(len(d))]
+	}
+	return c
+}
+
+// Neighbor returns a copy of c with one uniformly chosen parameter moved
+// one step up or down its domain (reflecting at the ends), i.e. a local
+// neighbour in the sense of the paper's training-data search.
+func Neighbor(c Config, rng *rand.Rand) Config {
+	p := Param(rng.IntN(int(NumParams)))
+	d := domains[p]
+	i := IndexOf(p, c[p])
+	switch {
+	case i <= 0:
+		i = 1
+	case i >= len(d)-1:
+		i = len(d) - 2
+	case rng.IntN(2) == 0:
+		i--
+	default:
+		i++
+	}
+	return c.With(p, d[i])
+}
+
+// Sweep returns the configurations obtained by setting parameter p to each
+// of its legal values while all other parameters keep c's values (the
+// one-at-a-time stage of the paper's search protocol).
+func Sweep(c Config, p Param) []Config {
+	d := domains[p]
+	out := make([]Config, len(d))
+	for i, v := range d {
+		out[i] = c.With(p, v)
+	}
+	return out
+}
+
+// SweepAll returns the union of Sweep(c, p) over every parameter, excluding
+// duplicates of c itself beyond one occurrence. The paper's final search
+// stage alters each parameter of the incumbent one at a time: 98 extra
+// configurations in the full space.
+func SweepAll(c Config) []Config {
+	seen := map[Config]bool{}
+	var out []Config
+	for p := Param(0); p < NumParams; p++ {
+		for _, cc := range Sweep(c, p) {
+			if !seen[cc] {
+				seen[cc] = true
+				out = append(out, cc)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package arch
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceSizeMatchesPaper(t *testing.T) {
+	// Table I reports a total design space of 627 billion points.
+	got := SpaceSize()
+	const want = 626_688_000_000
+	if got != want {
+		t.Fatalf("SpaceSize() = %d, want %d (paper: 627bn)", got, want)
+	}
+}
+
+func TestDomainSizesMatchTableI(t *testing.T) {
+	want := map[Param]int{
+		Width: 4, ROBSize: 17, IQSize: 10, LSQSize: 10, RFSize: 16,
+		RFReadPorts: 8, RFWritePorts: 8, GshareSize: 6, BTBSize: 3,
+		MaxBranches: 4, ICacheKB: 5, DCacheKB: 5, L2CacheKB: 5, DepthFO4: 10,
+	}
+	for p, n := range want {
+		if got := DomainSize(p); got != n {
+			t.Errorf("DomainSize(%s) = %d, want %d", p, got, n)
+		}
+	}
+}
+
+func TestDomainEndpoints(t *testing.T) {
+	cases := []struct {
+		p      Param
+		lo, hi int
+	}{
+		{Width, 2, 8},
+		{ROBSize, 32, 160},
+		{IQSize, 8, 80},
+		{LSQSize, 8, 80},
+		{RFSize, 40, 160},
+		{RFReadPorts, 2, 16},
+		{RFWritePorts, 1, 8},
+		{GshareSize, 1024, 32768},
+		{BTBSize, 1024, 4096},
+		{MaxBranches, 8, 32},
+		{ICacheKB, 8, 128},
+		{DCacheKB, 8, 128},
+		{L2CacheKB, 256, 4096},
+		{DepthFO4, 9, 36},
+	}
+	for _, c := range cases {
+		d := Domain(c.p)
+		if d[0] != c.lo || d[len(d)-1] != c.hi {
+			t.Errorf("%s domain endpoints = %d..%d, want %d..%d", c.p, d[0], d[len(d)-1], c.lo, c.hi)
+		}
+	}
+}
+
+func TestTotalValues(t *testing.T) {
+	// Sum of Table I "Num" column: 4+17+10+10+16+8+8+6+3+4+5+5+5+10 = 111.
+	if got := TotalValues(); got != 111 {
+		t.Fatalf("TotalValues() = %d, want 111", got)
+	}
+}
+
+func TestBaselineMatchesTableIII(t *testing.T) {
+	b := Baseline()
+	if err := b.Check(); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+	if b[Width] != 4 || b[ROBSize] != 144 || b[IQSize] != 48 || b[LSQSize] != 32 {
+		t.Errorf("baseline front half mismatch: %v", b)
+	}
+	if b[GshareSize] != 16384 || b[BTBSize] != 1024 || b[L2CacheKB] != 1024 || b[DepthFO4] != 12 {
+		t.Errorf("baseline back half mismatch: %v", b)
+	}
+}
+
+func TestProfilingIsMaximal(t *testing.T) {
+	pc := Profiling()
+	if err := pc.Check(); err != nil {
+		t.Fatalf("profiling config invalid: %v", err)
+	}
+	for p := Param(0); p < NumParams; p++ {
+		if p == DepthFO4 {
+			if pc[p] != 12 {
+				t.Errorf("profiling depth = %d, want 12", pc[p])
+			}
+			continue
+		}
+		d := Domain(p)
+		if pc[p] != d[len(d)-1] {
+			t.Errorf("profiling %s = %d, want max %d", p, pc[p], d[len(d)-1])
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	for p := Param(0); p < NumParams; p++ {
+		for i, v := range Domain(p) {
+			if got := IndexOf(p, v); got != i {
+				t.Errorf("IndexOf(%s, %d) = %d, want %d", p, v, got, i)
+			}
+		}
+		if IndexOf(p, -7) != -1 {
+			t.Errorf("IndexOf(%s, -7) should be -1", p)
+		}
+	}
+	c := Baseline()
+	if rt := FromIndices(c.Indices()); rt != c {
+		t.Errorf("FromIndices(Indices()) = %v, want %v", rt, c)
+	}
+}
+
+func TestRandomConfigsValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200; i++ {
+		c := Random(rng)
+		if err := c.Check(); err != nil {
+			t.Fatalf("random config #%d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestNeighborMovesExactlyOneParamOneStep(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 500; i++ {
+		c := Random(rng)
+		n := Neighbor(c, rng)
+		if err := n.Check(); err != nil {
+			t.Fatalf("neighbor invalid: %v", err)
+		}
+		diff := 0
+		for p := Param(0); p < NumParams; p++ {
+			if c[p] != n[p] {
+				diff++
+				di := IndexOf(p, c[p]) - IndexOf(p, n[p])
+				if di != 1 && di != -1 {
+					t.Fatalf("neighbor moved %s by %d domain steps", p, di)
+				}
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("neighbor changed %d params, want exactly 1 (c=%v n=%v)", diff, c, n)
+		}
+	}
+}
+
+func TestSweepCoversDomain(t *testing.T) {
+	c := Baseline()
+	for p := Param(0); p < NumParams; p++ {
+		sw := Sweep(c, p)
+		if len(sw) != DomainSize(p) {
+			t.Fatalf("Sweep(%s) length %d, want %d", p, len(sw), DomainSize(p))
+		}
+		for i, cc := range sw {
+			if cc[p] != Domain(p)[i] {
+				t.Errorf("Sweep(%s)[%d] has %s=%d, want %d", p, i, p, cc[p], Domain(p)[i])
+			}
+			for q := Param(0); q < NumParams; q++ {
+				if q != p && cc[q] != c[q] {
+					t.Errorf("Sweep(%s) perturbed %s", p, q)
+				}
+			}
+		}
+	}
+}
+
+func TestSweepAllSizeAndUniqueness(t *testing.T) {
+	c := Baseline()
+	all := SweepAll(c)
+	// Unique configurations reachable by altering one parameter:
+	// sum over params of (K_p - 1), plus the incumbent itself once.
+	want := TotalValues() - int(NumParams) + 1
+	if len(all) != want {
+		t.Fatalf("SweepAll returned %d configs, want %d", len(all), want)
+	}
+	seen := map[Config]bool{}
+	for _, cc := range all {
+		if seen[cc] {
+			t.Fatalf("SweepAll returned duplicate %v", cc)
+		}
+		seen[cc] = true
+	}
+}
+
+func TestWithDoesNotAliasReceiver(t *testing.T) {
+	c := Baseline()
+	c2 := c.With(Width, 8)
+	if c[Width] != 4 {
+		t.Fatalf("With mutated receiver")
+	}
+	if c2[Width] != 8 {
+		t.Fatalf("With did not set value")
+	}
+}
+
+func TestParamStrings(t *testing.T) {
+	if Width.String() != "Width" || DepthFO4.String() != "Depth" {
+		t.Errorf("unexpected param names: %s %s", Width, DepthFO4)
+	}
+	if got := Param(99).String(); got != "Param(99)" {
+		t.Errorf("out-of-range param string = %q", got)
+	}
+}
+
+// Property: FromIndices∘Indices is the identity on valid configs generated
+// from arbitrary index vectors.
+func TestQuickIndexIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		c := Random(rng)
+		return FromIndices(c.Indices()) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Neighbor always yields a valid config different from its input
+// whenever some domain has more than one value (always true here).
+func TestQuickNeighborValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		c := Random(rng)
+		n := Neighbor(c, rng)
+		return n.Valid() && n != c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

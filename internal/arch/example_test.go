@@ -1,0 +1,30 @@
+package arch_test
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// ExampleConfig_With shows immutable parameter updates.
+func ExampleConfig_With() {
+	base := arch.Baseline()
+	wide := base.With(arch.Width, 8).With(arch.L2CacheKB, 4096)
+	fmt.Println(base[arch.Width], wide[arch.Width], wide[arch.L2CacheKB])
+	// Output: 4 8 4096
+}
+
+// ExampleSpaceSize reproduces Table I's total.
+func ExampleSpaceSize() {
+	fmt.Println(arch.SpaceSize())
+	// Output: 626688000000
+}
+
+// ExampleDomain lists a parameter's legal values.
+func ExampleDomain() {
+	fmt.Println(arch.Domain(arch.Width))
+	fmt.Println(arch.DomainSize(arch.ROBSize))
+	// Output:
+	// [2 4 6 8]
+	// 17
+}

@@ -1,0 +1,178 @@
+package branch
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1000, 1024); err == nil {
+		t.Error("non-power-of-two gshare accepted")
+	}
+	if _, err := New(1024, 3); err == nil {
+		t.Error("tiny BTB accepted")
+	}
+	if _, err := New(0, 1024); err == nil {
+		t.Error("zero gshare accepted")
+	}
+	if _, err := New(1024, 1024); err != nil {
+		t.Errorf("valid sizes rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on bad size")
+		}
+	}()
+	MustNew(3, 1024)
+}
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := MustNew(4096, 1024)
+	const pc, target = 0x400100, 0x400040
+	// Train past the point where the global history register saturates to
+	// all-taken, so the prediction-time gshare index has been trained.
+	for i := 0; i < 50; i++ {
+		p.Update(pc, true, target)
+	}
+	taken, tgt, hit := p.Predict(pc)
+	if !taken || !hit || tgt != target {
+		t.Fatalf("after training: taken=%v hit=%v tgt=%#x", taken, hit, tgt)
+	}
+}
+
+func TestLearnsLoopPattern(t *testing.T) {
+	// A loop branch taken 15 of 16 times: gshare with enough history should
+	// do far better than 1/16 mispredict floor would suggest for a simple
+	// bimodal, and at minimum should beat always-wrong.
+	p := MustNew(16384, 1024)
+	const pc, target = 0x400200, 0x400180
+	for i := 0; i < 20000; i++ {
+		p.Update(pc, i%16 != 15, target)
+	}
+	if r := p.MispredictRate(); r > 0.20 {
+		t.Errorf("loop pattern mispredict rate %.3f, want <= 0.20", r)
+	}
+}
+
+func TestRandomBranchesHard(t *testing.T) {
+	p := MustNew(16384, 1024)
+	rng := rand.New(rand.NewPCG(9, 9))
+	const pc, target = 0x400300, 0x400280
+	for i := 0; i < 20000; i++ {
+		p.Update(pc, rng.IntN(2) == 0, target)
+	}
+	if r := p.MispredictRate(); r < 0.35 {
+		t.Errorf("random branch mispredict rate %.3f suspiciously low", r)
+	}
+}
+
+func TestBiggerGshareHelpsManyBranches(t *testing.T) {
+	// Many distinct patterned branches alias in a tiny PHT but fit in a
+	// large one.
+	run := func(entries int) float64 {
+		p := MustNew(entries, 4096)
+		for i := 0; i < 120000; i++ {
+			pc := uint32(0x400000 + (i%512)*4)
+			taken := (i/512+i%7)%5 != 0
+			p.Update(pc, taken, pc-64)
+		}
+		return p.MispredictRate()
+	}
+	small, big := run(1024), run(32768)
+	if big >= small {
+		t.Errorf("32K gshare rate %.4f not better than 1K rate %.4f", big, small)
+	}
+}
+
+func TestBTBMissesOnColdTakenBranch(t *testing.T) {
+	p := MustNew(1024, 1024)
+	if ok := p.Update(0x400400, true, 0x400000); ok {
+		t.Error("cold taken branch counted as fully correct despite BTB miss")
+	}
+	if p.BTBMisses != 1 {
+		t.Errorf("BTBMisses = %d, want 1", p.BTBMisses)
+	}
+}
+
+func TestBTBCapacityPressure(t *testing.T) {
+	// More distinct taken branches than a small BTB holds must miss more
+	// than in a big BTB.
+	run := func(entries int) uint64 {
+		p := MustNew(4096, entries)
+		for round := 0; round < 30; round++ {
+			for i := 0; i < 3000; i++ {
+				pc := uint32(0x400000 + i*4)
+				p.Update(pc, true, pc+128)
+			}
+		}
+		return p.BTBMisses
+	}
+	small, big := run(1024), run(4096)
+	if small <= big {
+		t.Errorf("1K BTB misses %d not above 4K BTB misses %d", small, big)
+	}
+}
+
+func TestPredictDoesNotMutate(t *testing.T) {
+	p := MustNew(1024, 1024)
+	p.Update(0x400500, true, 0x400000)
+	before := p.Lookups
+	for i := 0; i < 100; i++ {
+		p.Predict(0x400500)
+	}
+	if p.Lookups != before {
+		t.Error("Predict changed statistics")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	p := MustNew(1024, 1024)
+	for i := 0; i < 100; i++ {
+		p.Update(uint32(0x400000+i*4), i%2 == 0, 0x400000)
+	}
+	p.ResetStats()
+	if p.Lookups != 0 || p.Mispredicts != 0 || p.BTBMisses != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+	if p.MispredictRate() != 0 {
+		t.Error("MispredictRate nonzero after reset with no lookups")
+	}
+}
+
+func TestDeterministicPredictor(t *testing.T) {
+	run := func() (uint64, uint64) {
+		p := MustNew(4096, 1024)
+		for i := 0; i < 5000; i++ {
+			pc := uint32(0x400000 + (i%97)*4)
+			p.Update(pc, (i/97+i%13)%3 != 0, pc+64)
+		}
+		return p.Mispredicts, p.BTBMisses
+	}
+	m1, b1 := run()
+	m2, b2 := run()
+	if m1 != m2 || b1 != b2 {
+		t.Fatalf("nondeterministic predictor: %d/%d vs %d/%d", m1, b1, m2, b2)
+	}
+}
+
+func TestResetStatsKeepsTraining(t *testing.T) {
+	p := MustNew(4096, 1024)
+	const pc, target = 0x400700, 0x400100
+	for i := 0; i < 100; i++ {
+		p.Update(pc, true, target)
+	}
+	p.ResetStats()
+	// The branch is still learned: the next updates should be correct.
+	wrong := uint64(0)
+	for i := 0; i < 20; i++ {
+		if !p.Update(pc, true, target) {
+			wrong++
+		}
+	}
+	if wrong > 0 {
+		t.Errorf("%d mispredicts on a learned branch after ResetStats", wrong)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/trace"
+)
+
+// HillClimber is the runtime-exploration baseline the paper argues against
+// (Section IX "Runtime Exploration", cf. [3], [38], [39]): instead of
+// predicting the best configuration in one shot, it perturbs one parameter
+// per interval, keeps the move when measured efficiency improves and
+// reverts it otherwise. It inevitably spends intervals in poor
+// configurations — the cost the predictive model avoids.
+type HillClimber struct {
+	opts HillClimbOptions
+	sim  *cpu.Sim
+	rng  *rand.Rand
+
+	current arch.Config
+	prevEff float64
+	// The last speculative move, to revert on regression.
+	moved     bool
+	movedFrom arch.Config
+}
+
+// HillClimbOptions configure the explorer.
+type HillClimbOptions struct {
+	// Interval is the evaluation interval in instructions.
+	Interval int
+	// Start is the initial configuration.
+	Start arch.Config
+	// Seed drives the random walk.
+	Seed uint64
+	// OverheadScale scales reconfiguration costs, as in Options.
+	OverheadScale float64
+}
+
+// NewHillClimber builds the explorer.
+func NewHillClimber(opts HillClimbOptions) (*HillClimber, error) {
+	if opts.Interval <= 0 {
+		return nil, fmt.Errorf("core: interval %d must be positive", opts.Interval)
+	}
+	if err := opts.Start.Check(); err != nil {
+		return nil, err
+	}
+	if opts.OverheadScale == 0 {
+		opts.OverheadScale = 1
+	}
+	sim, err := cpu.New(opts.Start)
+	if err != nil {
+		return nil, err
+	}
+	return &HillClimber{
+		opts:    opts,
+		sim:     sim,
+		rng:     rand.New(rand.NewPCG(opts.Seed, 0xc11b5eed)),
+		current: opts.Start,
+	}, nil
+}
+
+// Run executes nIntervals, climbing between them, and returns the report.
+func (h *HillClimber) Run(src cpu.Source, nIntervals int) (*Report, error) {
+	if nIntervals <= 0 {
+		return nil, fmt.Errorf("core: interval count %d must be positive", nIntervals)
+	}
+	rep := &Report{}
+	insts := make([]trace.Inst, h.opts.Interval)
+	var pendingStall uint64
+	var pendingEnergy float64
+	for iv := 0; iv < nIntervals; iv++ {
+		for i := range insts {
+			insts[i] = src.Next()
+		}
+		if h.sim.Config() != h.current {
+			if err := h.sim.Reconfigure(h.current); err != nil {
+				return nil, err
+			}
+		}
+		res, err := h.sim.Run(cpu.NewSliceSource(insts), len(insts), cpu.Options{
+			StartStall:    pendingStall,
+			ExtraEnergyPJ: pendingEnergy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pendingStall, pendingEnergy = 0, 0
+
+		rec := IntervalRecord{
+			Index:      iv,
+			Config:     h.current,
+			Cycles:     res.Cycles,
+			EnergyJ:    res.EnergyJ,
+			Seconds:    res.SecondsSim,
+			IPS:        res.IPS,
+			Efficiency: res.Efficiency,
+		}
+		rep.Records = append(rep.Records, rec)
+		rep.TotalInsts += uint64(len(insts))
+		rep.TotalSeconds += res.SecondsSim
+		rep.TotalEnergyJ += res.EnergyJ
+
+		// Decide the next move.
+		next := h.current
+		if h.moved && res.Efficiency < h.prevEff {
+			next = h.movedFrom // regression: revert
+			h.moved = false
+		} else {
+			h.prevEff = res.Efficiency
+			h.movedFrom = h.current
+			next = arch.Neighbor(h.current, h.rng)
+			h.moved = true
+		}
+		if next != h.current {
+			cost := Overhead(h.current, next, h.sim.Power())
+			pendingStall = uint64(float64(cost.StallCycles) * h.opts.OverheadScale)
+			pendingEnergy = cost.EnergyPJ * h.opts.OverheadScale
+			h.current = next
+			rep.Reconfigs++
+		}
+	}
+	if rep.TotalSeconds > 0 {
+		rep.IPS = float64(rep.TotalInsts) / rep.TotalSeconds
+		rep.Watts = rep.TotalEnergyJ / rep.TotalSeconds
+		rep.Efficiency = rep.IPS * rep.IPS * rep.IPS / rep.Watts
+	}
+	return rep, nil
+}
+
+// Current returns the explorer's current configuration.
+func (h *HillClimber) Current() arch.Config { return h.current }

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/counters"
+	"repro/internal/cpu"
+	"repro/internal/trace"
+)
+
+func TestHillClimberValidation(t *testing.T) {
+	if _, err := NewHillClimber(HillClimbOptions{Interval: 0, Start: arch.Baseline()}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	bad := arch.Baseline()
+	bad[arch.Width] = 3
+	if _, err := NewHillClimber(HillClimbOptions{Interval: 100, Start: bad}); err == nil {
+		t.Error("invalid start accepted")
+	}
+	hc, err := NewHillClimber(HillClimbOptions{Interval: 100, Start: arch.Baseline(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hc.Run(nil, 0); err == nil {
+		t.Error("zero intervals accepted")
+	}
+}
+
+func TestHillClimberExploresAndReports(t *testing.T) {
+	hc, err := NewHillClimber(HillClimbOptions{
+		Interval: 3000, Start: arch.Baseline(), Seed: 7, OverheadScale: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := trace.NewGenerator("gzip", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := hc.Run(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 10 {
+		t.Fatalf("%d records, want 10", len(rep.Records))
+	}
+	if rep.Reconfigs == 0 {
+		t.Error("hill climber never moved")
+	}
+	for _, r := range rep.Records {
+		if !r.Config.Valid() {
+			t.Errorf("interval %d on invalid config", r.Index)
+		}
+		if r.Efficiency <= 0 {
+			t.Errorf("interval %d efficiency %v", r.Index, r.Efficiency)
+		}
+	}
+	if rep.Efficiency <= 0 || !hc.Current().Valid() {
+		t.Error("bad aggregate or final state")
+	}
+}
+
+func TestHillClimberRevertsRegressions(t *testing.T) {
+	// Over a steady workload the climber must not drift into terrible
+	// configurations: its aggregate efficiency should stay within a
+	// reasonable factor of the starting configuration's.
+	g, _ := trace.NewGenerator("sixtrack", 0)
+	insts := g.Interval(3000 * 12)
+	base, err := cpu.New(arch.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := base.Run(cpu.NewSliceSource(insts), len(insts), cpu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, _ := NewHillClimber(HillClimbOptions{
+		Interval: 3000, Start: arch.Baseline(), Seed: 3, OverheadScale: 0.02,
+	})
+	rep, err := hc.Run(cpu.NewSliceSource(insts), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Efficiency < res.Efficiency/4 {
+		t.Errorf("climber collapsed: %.3e vs static %.3e", rep.Efficiency, res.Efficiency)
+	}
+}
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	pred := trainToyPredictor(t, counters.Basic)
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Set != pred.Set {
+		t.Errorf("set mismatch: %v vs %v", loaded.Set, pred.Set)
+	}
+	d := counters.Dim(counters.Basic)
+	for trial := 0; trial < 20; trial++ {
+		f := make([]float64, d)
+		f[trial%d] = 1
+		f[d-1] = 1
+		if loaded.Predict(f) != pred.Predict(f) {
+			t.Fatalf("prediction mismatch after round trip (trial %d)", trial)
+		}
+	}
+}
+
+func TestLoadPredictorRejectsGarbage(t *testing.T) {
+	if _, err := LoadPredictor(bytes.NewReader([]byte("not a predictor"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Truncated stream.
+	pred := trainToyPredictor(t, counters.Basic)
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPredictor(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestSaveIncompletePredictorFails(t *testing.T) {
+	var p Predictor
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err == nil {
+		t.Error("incomplete predictor saved")
+	}
+}

@@ -1,0 +1,127 @@
+// Package core implements the paper's contribution: the predictive
+// adaptivity controller. It bundles fourteen per-parameter soft-max models
+// into a configuration predictor (Section IV), models the cost of
+// reconfiguring each hardware structure (Section VIII, Table V), and runs
+// the monitor -> profile -> predict -> reconfigure loop of Figure 2 on top
+// of the cycle-level simulator.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/counters"
+	"repro/internal/softmax"
+)
+
+// PhaseExample is one training phase: its profiling-configuration feature
+// vector and the set of good configurations (within 5% of the best found,
+// paper §IV-D).
+type PhaseExample struct {
+	Features []float64
+	Good     []arch.Config
+}
+
+// Predictor maps a phase's hardware-counter features to the predicted best
+// configuration, one independent soft-max model per parameter (paper
+// eq. 1: parameters are conditionally independent given the counters).
+type Predictor struct {
+	Set    counters.Set
+	Models [arch.NumParams]*softmax.Model
+}
+
+// TrainPredictor fits the fourteen per-parameter models on the given
+// phases. Each phase contributes one example per good configuration, per
+// parameter.
+func TrainPredictor(set counters.Set, phases []PhaseExample, opts softmax.Options) (*Predictor, error) {
+	if len(phases) == 0 {
+		return nil, errors.New("core: no training phases")
+	}
+	d := counters.Dim(set)
+	p := &Predictor{Set: set}
+	for param := arch.Param(0); param < arch.NumParams; param++ {
+		var exs []softmax.Example
+		for i, ph := range phases {
+			if len(ph.Features) != d {
+				return nil, fmt.Errorf("core: phase %d features have dim %d, want %d", i, len(ph.Features), d)
+			}
+			if len(ph.Good) == 0 {
+				return nil, fmt.Errorf("core: phase %d has no good configurations", i)
+			}
+			for _, cfg := range ph.Good {
+				k := arch.IndexOf(param, cfg[param])
+				if k < 0 {
+					return nil, fmt.Errorf("core: phase %d good config has invalid %s=%d", i, param, cfg[param])
+				}
+				exs = append(exs, softmax.Example{X: ph.Features, Y: k})
+			}
+		}
+		m, err := softmax.Train(d, arch.DomainSize(param), exs, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: training %s model: %w", param, err)
+		}
+		p.Models[param] = m
+	}
+	return p, nil
+}
+
+// Predict returns the configuration whose every parameter maximises its
+// per-parameter model score for the given features (paper eq. 2, 8-9).
+func (p *Predictor) Predict(features []float64) arch.Config {
+	var ix [arch.NumParams]int
+	for param := arch.Param(0); param < arch.NumParams; param++ {
+		ix[param] = p.Models[param].Predict(features)
+	}
+	return arch.FromIndices(ix)
+}
+
+// WeightCount returns the total number of weights across all fourteen
+// models (the paper counts ~2000 for its counter set).
+func (p *Predictor) WeightCount() int {
+	n := 0
+	for _, m := range p.Models {
+		if m != nil {
+			n += len(m.W)
+		}
+	}
+	return n
+}
+
+// QuantizedPredictor is the 8-bit hardware form of the predictor (§VIII).
+type QuantizedPredictor struct {
+	Set    counters.Set
+	Models [arch.NumParams]*softmax.Quantized
+}
+
+// Quantize converts every per-parameter model to 8-bit weights.
+func (p *Predictor) Quantize() *QuantizedPredictor {
+	q := &QuantizedPredictor{Set: p.Set}
+	for i, m := range p.Models {
+		if m != nil {
+			q.Models[i] = m.Quantize()
+		}
+	}
+	return q
+}
+
+// Predict is the 8-bit prediction path.
+func (q *QuantizedPredictor) Predict(features []float64) arch.Config {
+	var ix [arch.NumParams]int
+	for param := arch.Param(0); param < arch.NumParams; param++ {
+		ix[param] = q.Models[param].Predict(features)
+	}
+	return arch.FromIndices(ix)
+}
+
+// StorageBytes returns the total weight storage of the quantised
+// predictor.
+func (q *QuantizedPredictor) StorageBytes() int {
+	n := 0
+	for _, m := range q.Models {
+		if m != nil {
+			n += m.StorageBytes()
+		}
+	}
+	return n
+}

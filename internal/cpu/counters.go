@@ -1,0 +1,280 @@
+package cpu
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Histogram geometry for the temporal-histogram counters. Occupancy
+// histograms use fixed absolute scales (the profiling configuration's
+// maxima from Table I) so feature vectors are comparable across phases.
+const (
+	OccBins      = 20  // bins for ROB/IQ/LSQ/register occupancy histograms
+	maxROBOcc    = 160 // Table I maxima
+	maxQueueOcc  = 80
+	maxRegOcc    = 160
+	ALUBins      = 13 // 0..12 ALU-class units busy
+	MemPortBins  = 5  // 0..4 memory ports busy
+	RdPortBins   = 17 // 0..16 read ports busy
+	WrPortBins   = 9  // 0..8 write ports busy
+	BTBReuseBins = cache.HistBins
+)
+
+// RawCounters are the hardware counters of Table II, gathered while
+// running a phase on the profiling configuration. internal/counters turns
+// them into model feature vectors.
+type RawCounters struct {
+	// Width counters.
+	ALUUsage     *stats.Histogram // ALU-class units busy per cycle
+	MemPortUsage *stats.Histogram // memory ports busy per cycle
+
+	// Queue counters.
+	ROBOcc *stats.Histogram // entries occupied per cycle
+	IQOcc  *stats.Histogram
+	LSQOcc *stats.Histogram
+	// Fraction of queue-resident instructions that were speculative
+	// (an older unresolved branch existed), and the fraction of
+	// dispatched queue entries that were ultimately mis-speculated
+	// (wrong-path).
+	IQSpecFrac     float64
+	IQMisspecFrac  float64
+	LSQSpecFrac    float64
+	LSQMisspecFrac float64
+
+	// Register file counters.
+	IntRegUsage *stats.Histogram // integer registers in use per cycle
+	FpRegUsage  *stats.Histogram
+	RdPortUsage *stats.Histogram // read ports busy per cycle
+	WrPortUsage *stats.Histogram // write ports busy per cycle
+
+	// Cache counters: stack distance, block reuse, set reuse and
+	// reduced-set reuse histograms per cache.
+	ICache *cache.Profiler
+	DCache *cache.Profiler
+	L2     *cache.Profiler
+
+	// Branch predictor counters.
+	BTBReuse       *stats.Histogram // reuse distance of branch PCs
+	MispredictRate float64
+
+	// Pipeline depth counter.
+	CPI float64
+}
+
+// collector accumulates RawCounters during a profiled run.
+type collector struct {
+	raw RawCounters
+
+	icache *cache.Profiler
+	dcache *cache.Profiler
+	l2     *cache.Profiler
+
+	// Per-cycle accumulators reset by perCycle.
+	aluThisCycle int
+	memThisCycle int
+	rdThisCycle  int
+
+	// Speculation sums.
+	iqOccSum, iqSpecSum   uint64
+	lsqOccSum, lsqSpecSum uint64
+	iqDisp, iqDispWrong   uint64
+	lsqDisp, lsqDispWrong uint64
+
+	// BTB reuse tracking.
+	branchClock  uint64
+	lastBranchAt map[uint32]uint64
+}
+
+// newCollector builds the collector for a profiled run on cfg.
+// sampledSets bounds cache profiler set sampling (0 = all sets).
+func newCollector(cfg arch.Config, sampledSets int) (*collector, error) {
+	mkProf := func(sizeKB, lineBytes, reducedKB int) (*cache.Profiler, error) {
+		sets := sizeKB * 1024 / lineBytes / 2
+		n := sampledSets
+		if n <= 0 || n > sets {
+			n = sets
+		}
+		return cache.NewProfiler(sizeKB, lineBytes, reducedKB, n)
+	}
+	ic, err := mkProf(cfg[arch.ICacheKB], cache.L1LineBytes, arch.Domain(arch.ICacheKB)[0])
+	if err != nil {
+		return nil, err
+	}
+	dc, err := mkProf(cfg[arch.DCacheKB], cache.L1LineBytes, arch.Domain(arch.DCacheKB)[0])
+	if err != nil {
+		return nil, err
+	}
+	l2, err := mkProf(cfg[arch.L2CacheKB], cache.L2LineBytes, arch.Domain(arch.L2CacheKB)[0])
+	if err != nil {
+		return nil, err
+	}
+	c := &collector{
+		icache:       ic,
+		dcache:       dc,
+		l2:           l2,
+		lastBranchAt: map[uint32]uint64{},
+	}
+	c.raw = RawCounters{
+		ALUUsage:     stats.NewHistogram(ALUBins),
+		MemPortUsage: stats.NewHistogram(MemPortBins),
+		ROBOcc:       stats.NewHistogram(OccBins),
+		IQOcc:        stats.NewHistogram(OccBins),
+		LSQOcc:       stats.NewHistogram(OccBins),
+		IntRegUsage:  stats.NewHistogram(OccBins),
+		FpRegUsage:   stats.NewHistogram(OccBins),
+		RdPortUsage:  stats.NewHistogram(RdPortBins),
+		WrPortUsage:  stats.NewHistogram(WrPortBins),
+		ICache:       ic,
+		DCache:       dc,
+		L2:           l2,
+		BTBReuse:     stats.NewHistogram(BTBReuseBins),
+	}
+	return c, nil
+}
+
+// occBin maps an occupancy value to its histogram bin on a fixed absolute
+// scale.
+func occBin(occ, maxOcc int) int {
+	if occ < 0 {
+		occ = 0
+	}
+	return occ * OccBins / (maxOcc + 1)
+}
+
+// dispatched records queue-entry provenance for mis-speculation fractions.
+func (c *collector) dispatched(st *runState, e *entry) {
+	c.iqDisp++
+	if e.wrongPath {
+		c.iqDispWrong++
+	}
+	if e.inLSQ {
+		c.lsqDisp++
+		if e.wrongPath {
+			c.lsqDispWrong++
+		}
+	}
+}
+
+// issued records per-cycle port and unit usage.
+func (c *collector) issued(st *runState, e *entry, nsrc int) {
+	c.rdThisCycle += nsrc
+	switch e.inst.Op {
+	case trace.Load, trace.Store:
+		c.memThisCycle++
+	default:
+		c.aluThisCycle++
+	}
+}
+
+// branchFetched records the BTB reuse distance stream.
+func (c *collector) branchFetched(in trace.Inst) {
+	c.branchClock++
+	if last, ok := c.lastBranchAt[in.PC]; ok {
+		c.raw.BTBReuse.Add(stats.Log2Bin(c.branchClock-last, BTBReuseBins-1))
+	} else {
+		c.raw.BTBReuse.Add(BTBReuseBins - 1)
+	}
+	c.lastBranchAt[in.PC] = c.branchClock
+}
+
+// perCycle samples occupancy and usage histograms once per cycle.
+func (c *collector) perCycle(s *Sim, st *runState) {
+	c.raw.ROBOcc.Add(occBin(st.robCount, maxROBOcc))
+	c.raw.IQOcc.Add(occBin(st.iqCount, maxQueueOcc))
+	c.raw.LSQOcc.Add(occBin(st.lsqCount, maxQueueOcc))
+	c.raw.IntRegUsage.Add(occBin(trace.NumIntRegs+st.allocInt, maxRegOcc))
+	c.raw.FpRegUsage.Add(occBin(trace.NumFpRegs+st.allocFp, maxRegOcc))
+	if c.rdThisCycle >= RdPortBins {
+		c.rdThisCycle = RdPortBins - 1
+	}
+	c.raw.RdPortUsage.Add(c.rdThisCycle)
+	wb := int(st.wbUsed[st.cycle%wbWindow])
+	if wb >= WrPortBins {
+		wb = WrPortBins - 1
+	}
+	c.raw.WrPortUsage.Add(wb)
+	if c.aluThisCycle >= ALUBins {
+		c.aluThisCycle = ALUBins - 1
+	}
+	c.raw.ALUUsage.Add(c.aluThisCycle)
+	if c.memThisCycle >= MemPortBins {
+		c.memThisCycle = MemPortBins - 1
+	}
+	c.raw.MemPortUsage.Add(c.memThisCycle)
+	c.aluThisCycle, c.memThisCycle, c.rdThisCycle = 0, 0, 0
+
+	// Speculation occupancy: entries behind the oldest unresolved branch.
+	if st.robCount > 0 {
+		spec := false
+		for seq := st.headSeq; seq < st.nextSeq; seq++ {
+			e := st.slot(seq)
+			if e.inIQ {
+				c.iqOccSum++
+				if spec || e.wrongPath {
+					c.iqSpecSum++
+				}
+			}
+			if e.inLSQ {
+				c.lsqOccSum++
+				if spec || e.wrongPath {
+					c.lsqSpecSum++
+				}
+			}
+			if e.inst.Op == trace.Branch && !e.resolved && !e.wrongPath {
+				spec = true
+			}
+		}
+	}
+}
+
+// observeData feeds a data address to the D-cache profiler and, since the
+// unified L2 sees the union of both L1 streams, to the L2 profiler.
+func (c *collector) observeData(addr uint32) {
+	c.dcache.Observe(addr)
+	c.l2.Observe(addr)
+}
+
+// observeFetch feeds an instruction address to the I-cache and L2
+// profilers.
+func (c *collector) observeFetch(pc uint32) {
+	c.icache.Observe(pc)
+	c.l2.Observe(pc)
+}
+
+// finish computes the scalar counters and returns the finished set.
+func (c *collector) finish(s *Sim, res *Result) *RawCounters {
+	if c.iqOccSum > 0 {
+		c.raw.IQSpecFrac = float64(c.iqSpecSum) / float64(c.iqOccSum)
+	}
+	if c.lsqOccSum > 0 {
+		c.raw.LSQSpecFrac = float64(c.lsqSpecSum) / float64(c.lsqOccSum)
+	}
+	if c.iqDisp > 0 {
+		c.raw.IQMisspecFrac = float64(c.iqDispWrong) / float64(c.iqDisp)
+	}
+	if c.lsqDisp > 0 {
+		c.raw.LSQMisspecFrac = float64(c.lsqDispWrong) / float64(c.lsqDisp)
+	}
+	if res.BranchLookups > 0 {
+		c.raw.MispredictRate = float64(res.Mispredicts) / float64(res.BranchLookups)
+	}
+	if res.Committed > 0 {
+		c.raw.CPI = float64(res.Cycles) / float64(res.Committed)
+	}
+	out := c.raw
+	return &out
+}
+
+// EmptyRawCounters returns a zero-valued but fully allocated counter set
+// with the production histogram geometry. It exists so feature extractors
+// can probe dimensionality without running a simulation.
+func EmptyRawCounters() *RawCounters {
+	c, err := newCollector(arch.Profiling(), 0)
+	if err != nil {
+		panic(err) // the profiling configuration is always valid
+	}
+	out := c.raw
+	return &out
+}

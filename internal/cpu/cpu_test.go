@@ -1,0 +1,462 @@
+package cpu
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+func newTestRNG() *rand.Rand { return rand.New(rand.NewPCG(2024, 7)) }
+
+// mkTrace returns a replayable slice of n instructions from program/phase.
+func mkTrace(t testing.TB, program string, phase, n int) []trace.Inst {
+	t.Helper()
+	g, err := trace.NewGenerator(program, phase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Interval(n)
+}
+
+func runOn(t testing.TB, cfg arch.Config, insts []trace.Inst, opts Options) *Result {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(NewSliceSource(insts), len(insts), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	bad := arch.Baseline().With(arch.Width, 5)
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	s, _ := New(arch.Baseline())
+	if _, err := s.Run(NewSliceSource(mkTrace(t, "gzip", 0, 10)), 0, Options{}); err == nil {
+		t.Fatal("zero instruction count accepted")
+	}
+}
+
+func TestSliceSourceLoopsAndResets(t *testing.T) {
+	insts := mkTrace(t, "gzip", 0, 5)
+	src := NewSliceSource(insts)
+	for i := 0; i < 12; i++ {
+		want := insts[i%5]
+		if got := src.Next(); got != want {
+			t.Fatalf("instruction %d mismatch", i)
+		}
+	}
+	src.Reset()
+	if got := src.Next(); got != insts[0] {
+		t.Fatal("Reset did not rewind")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty SliceSource accepted")
+		}
+	}()
+	NewSliceSource(nil)
+}
+
+func TestBaselineRunSane(t *testing.T) {
+	insts := mkTrace(t, "gzip", 0, 8000)
+	res := runOn(t, arch.Baseline(), insts, Options{WarmupInsts: 8000})
+	if res.Committed != 8000 {
+		t.Fatalf("committed %d, want 8000", res.Committed)
+	}
+	if res.IPC < 0.2 || res.IPC > 4 {
+		t.Errorf("baseline warm IPC = %.3f, want 0.2..4", res.IPC)
+	}
+	if res.Watts <= 0 || res.Watts > 500 {
+		t.Errorf("power %.2f W implausible", res.Watts)
+	}
+	if res.Efficiency <= 0 {
+		t.Errorf("efficiency %v must be positive", res.Efficiency)
+	}
+	if res.Cycles == 0 || res.EnergyJ <= 0 {
+		t.Errorf("zero cycles or energy: %+v", res)
+	}
+	if res.Fetched < res.Committed {
+		t.Errorf("fetched %d < committed %d", res.Fetched, res.Committed)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	insts := mkTrace(t, "parser", 2, 4000)
+	a := runOn(t, arch.Baseline(), insts, Options{})
+	b := runOn(t, arch.Baseline(), insts, Options{})
+	if a.Cycles != b.Cycles || a.EnergyJ != b.EnergyJ || a.Mispredicts != b.Mispredicts {
+		t.Fatalf("nondeterministic: %d/%d cycles, %v/%v J", a.Cycles, b.Cycles, a.EnergyJ, b.EnergyJ)
+	}
+}
+
+func TestWiderMachineFasterOnILP(t *testing.T) {
+	// swim streams with high ILP: a wide machine should exceed the IPC of
+	// a narrow one.
+	insts := mkTrace(t, "swim", 0, 6000)
+	big := arch.Profiling()
+	narrow := big.With(arch.Width, 2).With(arch.RFReadPorts, 4).With(arch.RFWritePorts, 2)
+	wide := big.With(arch.Width, 8)
+	rn := runOn(t, narrow, insts, Options{})
+	rw := runOn(t, wide, insts, Options{})
+	if rw.IPC <= rn.IPC {
+		t.Errorf("wide IPC %.3f not above narrow %.3f", rw.IPC, rn.IPC)
+	}
+	if rw.IPC > 8 || rn.IPC > 2 {
+		t.Errorf("IPC exceeds width: wide %.3f narrow %.3f", rw.IPC, rn.IPC)
+	}
+}
+
+func TestSmallCacheHurtsBigWorkingSet(t *testing.T) {
+	// mcf chases pointers through megabytes: shrinking the D-cache and L2
+	// must increase misses and reduce IPC.
+	insts := mkTrace(t, "mcf", 0, 5000)
+	big := arch.Baseline().With(arch.DCacheKB, 128).With(arch.L2CacheKB, 4096)
+	small := arch.Baseline().With(arch.DCacheKB, 8).With(arch.L2CacheKB, 256)
+	rb := runOn(t, big, insts, Options{WarmupInsts: 3000})
+	rs := runOn(t, small, insts, Options{WarmupInsts: 3000})
+	if rs.L1DMisses <= rb.L1DMisses {
+		t.Errorf("small D-cache misses %d not above big %d", rs.L1DMisses, rb.L1DMisses)
+	}
+	if rs.IPC >= rb.IPC {
+		t.Errorf("small-cache IPC %.3f not below big-cache %.3f", rs.IPC, rb.IPC)
+	}
+}
+
+func TestDeepPipelineHigherFrequencyMorePenalty(t *testing.T) {
+	// parser mispredicts a lot: a deep pipeline (FO4 9) pays more cycles
+	// per mispredict than a shallow one (FO4 36), so its IPC must be
+	// lower; its simulated time can still win on frequency.
+	insts := mkTrace(t, "parser", 0, 6000)
+	deep := runOn(t, arch.Baseline().With(arch.DepthFO4, 9), insts, Options{})
+	shallow := runOn(t, arch.Baseline().With(arch.DepthFO4, 36), insts, Options{})
+	if deep.IPC >= shallow.IPC {
+		t.Errorf("deep IPC %.3f not below shallow %.3f", deep.IPC, shallow.IPC)
+	}
+}
+
+func TestTinyIQThrottles(t *testing.T) {
+	insts := mkTrace(t, "applu", 0, 6000)
+	bigIQ := runOn(t, arch.Profiling(), insts, Options{})
+	tinyIQ := runOn(t, arch.Profiling().With(arch.IQSize, 8), insts, Options{})
+	if tinyIQ.IPC >= bigIQ.IPC {
+		t.Errorf("8-entry IQ IPC %.3f not below 80-entry %.3f", tinyIQ.IPC, bigIQ.IPC)
+	}
+}
+
+func TestMispredictsReduceIPC(t *testing.T) {
+	// The same program with a tiny gshare mispredicts more and commits
+	// more slowly per cycle.
+	// crafty is compute-bound and branchy, so predictor quality shows in
+	// IPC; caches are warmed to isolate the branch effect.
+	insts := mkTrace(t, "crafty", 0, 8000)
+	small := runOn(t, arch.Baseline().With(arch.GshareSize, 1024).With(arch.BTBSize, 1024), insts, Options{WarmupInsts: 8000})
+	big := runOn(t, arch.Baseline().With(arch.GshareSize, 32768).With(arch.BTBSize, 4096), insts, Options{WarmupInsts: 8000})
+	if small.Mispredicts <= big.Mispredicts {
+		t.Skipf("predictor sizes did not separate on this trace: %d vs %d", small.Mispredicts, big.Mispredicts)
+	}
+	if small.IPC >= big.IPC {
+		t.Errorf("more mispredicts but higher IPC: %.3f vs %.3f", small.IPC, big.IPC)
+	}
+}
+
+func TestWrongPathActivityExists(t *testing.T) {
+	insts := mkTrace(t, "parser", 0, 6000)
+	res := runOn(t, arch.Baseline(), insts, Options{})
+	if res.Mispredicts == 0 {
+		t.Skip("no mispredicts on this trace")
+	}
+	if res.WrongPath == 0 {
+		t.Error("mispredicts occurred but no wrong-path instructions dispatched")
+	}
+	if res.Committed != 6000 {
+		t.Errorf("committed %d, want 6000 (wrong path must not commit)", res.Committed)
+	}
+}
+
+func TestStartStallAddsCycles(t *testing.T) {
+	insts := mkTrace(t, "gzip", 0, 3000)
+	plain := runOn(t, arch.Baseline(), insts, Options{})
+	stalled := runOn(t, arch.Baseline(), insts, Options{StartStall: 5000})
+	if stalled.Cycles < plain.Cycles+4500 {
+		t.Errorf("start stall not reflected: %d vs %d cycles", stalled.Cycles, plain.Cycles)
+	}
+}
+
+func TestFlushCachesCostsMisses(t *testing.T) {
+	insts := mkTrace(t, "gzip", 0, 3000)
+	s, _ := New(arch.Baseline())
+	src := NewSliceSource(insts)
+	warm, err := s.Run(src, 3000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Reset()
+	flushed, err := s.Run(src, 3000, Options{FlushCaches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second run on a warm simulator should normally hit; flushing must
+	// bring cold misses back.
+	if flushed.L1DMisses <= warm.L1DMisses/2 {
+		t.Errorf("flush did not produce cold misses: %d vs warm %d", flushed.L1DMisses, warm.L1DMisses)
+	}
+}
+
+func TestExtraEnergyCharged(t *testing.T) {
+	insts := mkTrace(t, "gzip", 0, 2000)
+	plain := runOn(t, arch.Baseline(), insts, Options{})
+	charged := runOn(t, arch.Baseline(), insts, Options{ExtraEnergyPJ: 1e9}) // 1 mJ
+	if charged.EnergyJ <= plain.EnergyJ {
+		t.Errorf("extra energy not charged: %v vs %v", charged.EnergyJ, plain.EnergyJ)
+	}
+}
+
+func TestCountersCollected(t *testing.T) {
+	insts := mkTrace(t, "vortex", 0, 6000)
+	res := runOn(t, arch.Profiling(), insts, Options{Collect: true})
+	c := res.Counters
+	if c == nil {
+		t.Fatal("counters not collected")
+	}
+	for name, h := range map[string]interface{ Bins() int }{
+		"ALUUsage": c.ALUUsage, "MemPortUsage": c.MemPortUsage,
+		"ROBOcc": c.ROBOcc, "IQOcc": c.IQOcc, "LSQOcc": c.LSQOcc,
+		"IntRegUsage": c.IntRegUsage, "FpRegUsage": c.FpRegUsage,
+		"RdPortUsage": c.RdPortUsage, "WrPortUsage": c.WrPortUsage,
+		"BTBReuse": c.BTBReuse,
+	} {
+		if h.Bins() == 0 {
+			t.Errorf("%s has no bins", name)
+		}
+	}
+	if c.ROBOcc.Total == 0 || c.IQOcc.Total == 0 {
+		t.Error("occupancy histograms empty")
+	}
+	if c.DCache.Observations() == 0 || c.ICache.Observations() == 0 || c.L2.Observations() == 0 {
+		t.Error("cache profilers saw no accesses")
+	}
+	if c.CPI <= 0 {
+		t.Error("CPI not computed")
+	}
+	if c.MispredictRate < 0 || c.MispredictRate > 1 {
+		t.Errorf("mispredict rate %v out of range", c.MispredictRate)
+	}
+	if c.IQSpecFrac < 0 || c.IQSpecFrac > 1 || c.LSQMisspecFrac < 0 || c.LSQMisspecFrac > 1 {
+		t.Errorf("speculation fractions out of range: %+v", c)
+	}
+	if res.Counters.BTBReuse.Total == 0 {
+		t.Error("BTB reuse histogram empty")
+	}
+}
+
+func TestNoCountersWithoutCollect(t *testing.T) {
+	insts := mkTrace(t, "gzip", 0, 1000)
+	res := runOn(t, arch.Baseline(), insts, Options{})
+	if res.Counters != nil {
+		t.Error("counters present without Collect")
+	}
+}
+
+func TestSampledSetsStillProduceHistograms(t *testing.T) {
+	insts := mkTrace(t, "art", 0, 6000)
+	res := runOn(t, arch.Profiling(), insts, Options{Collect: true, SampledSets: 16})
+	if res.Counters.DCache.StackDist.Total == 0 {
+		t.Error("sampled profiling produced empty stack-distance histogram")
+	}
+}
+
+func TestWarmupReducesColdMisses(t *testing.T) {
+	insts := mkTrace(t, "applu", 0, 4000)
+	cold := runOn(t, arch.Baseline(), insts, Options{})
+	warm := runOn(t, arch.Baseline(), insts, Options{WarmupInsts: 4000})
+	if warm.L1DMisses >= cold.L1DMisses {
+		t.Errorf("warmup did not reduce misses: %d vs %d", warm.L1DMisses, cold.L1DMisses)
+	}
+}
+
+func TestAllBenchmarksRunOnExtremeConfigs(t *testing.T) {
+	// Smoke test: every benchmark completes on the min, baseline and max
+	// configurations without deadlock.
+	if testing.Short() {
+		t.Skip("long smoke test")
+	}
+	cfgs := []arch.Config{arch.MinConfig(), arch.Baseline(), arch.Profiling()}
+	for _, name := range trace.Benchmarks() {
+		insts := mkTrace(t, name, 0, 1500)
+		for _, cfg := range cfgs {
+			res := runOn(t, cfg, insts, Options{})
+			if res.Committed != 1500 {
+				t.Errorf("%s on %v committed %d", name, cfg, res.Committed)
+			}
+		}
+	}
+}
+
+func TestReconfigureRejectsInvalid(t *testing.T) {
+	s, _ := New(arch.Baseline())
+	bad := arch.Baseline()
+	bad[arch.Width] = 7
+	if err := s.Reconfigure(bad); err == nil {
+		t.Fatal("invalid config accepted by Reconfigure")
+	}
+}
+
+func TestReconfigurePreservesWarmthForNonCacheChanges(t *testing.T) {
+	insts := mkTrace(t, "eon", 0, 5000)
+	s, _ := New(arch.Baseline())
+	if _, err := s.Run(NewSliceSource(insts), len(insts), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Change only the width: caches must stay warm.
+	if err := s.Reconfigure(arch.Baseline().With(arch.Width, 8)); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.Run(NewSliceSource(insts), len(insts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _ := New(arch.Baseline().With(arch.Width, 8))
+	coldRes, err := cold.Run(NewSliceSource(insts), len(insts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.L1DMisses >= coldRes.L1DMisses {
+		t.Errorf("width-only reconfigure lost cache warmth: %d vs cold %d",
+			warm.L1DMisses, coldRes.L1DMisses)
+	}
+	if s.Config()[arch.Width] != 8 {
+		t.Error("config not applied")
+	}
+}
+
+func TestReconfigureGrowingCacheKeepsContents(t *testing.T) {
+	insts := mkTrace(t, "gzip", 0, 5000)
+	s, _ := New(arch.Baseline().With(arch.DCacheKB, 32))
+	if _, err := s.Run(NewSliceSource(insts), len(insts), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reconfigure(arch.Baseline().With(arch.DCacheKB, 128)); err != nil {
+		t.Fatal(err)
+	}
+	grown, err := s.Run(NewSliceSource(insts), len(insts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _ := New(arch.Baseline().With(arch.DCacheKB, 128))
+	coldRes, _ := cold.Run(NewSliceSource(insts), len(insts), Options{})
+	if grown.L1DMisses >= coldRes.L1DMisses {
+		t.Errorf("grown cache lost contents: %d misses vs cold %d", grown.L1DMisses, coldRes.L1DMisses)
+	}
+}
+
+func TestReconfigureChangesTimingModel(t *testing.T) {
+	s, _ := New(arch.Baseline())
+	f0 := s.Power().FrequencyHz
+	if err := s.Reconfigure(arch.Baseline().With(arch.DepthFO4, 36)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Power().FrequencyHz >= f0 {
+		t.Error("frequency did not drop with shallower pipeline")
+	}
+}
+
+// Property: every benchmark commits exactly the requested instruction
+// count with positive energy on arbitrary valid configurations.
+func TestQuickRandomConfigsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep")
+	}
+	progs := trace.Benchmarks()
+	rng := newTestRNG()
+	for i := 0; i < 12; i++ {
+		cfg := arch.Random(rng)
+		prog := progs[i%len(progs)]
+		insts := mkTrace(t, prog, i%trace.PhasesPerProgram, 1200)
+		res := runOn(t, cfg, insts, Options{})
+		if res.Committed != 1200 {
+			t.Fatalf("%s on %v committed %d", prog, cfg, res.Committed)
+		}
+		if res.EnergyJ <= 0 || res.Cycles == 0 {
+			t.Fatalf("%s on %v: degenerate result %+v", prog, cfg, res)
+		}
+		if res.Fetched < res.Committed {
+			t.Fatalf("%s on %v: fetched %d < committed %d", prog, cfg, res.Fetched, res.Committed)
+		}
+	}
+}
+
+func TestWritePortContentionThrottles(t *testing.T) {
+	// A high-ILP stream with one RF write port cannot sustain more than
+	// ~1 writeback per cycle; eight ports must do better.
+	insts := mkTrace(t, "swim", 0, 6000)
+	one := runOn(t, arch.Profiling().With(arch.RFWritePorts, 1), insts, Options{WarmupInsts: 6000})
+	eight := runOn(t, arch.Profiling().With(arch.RFWritePorts, 8), insts, Options{WarmupInsts: 6000})
+	if one.IPC >= eight.IPC {
+		t.Errorf("1 write port IPC %.3f not below 8 ports %.3f", one.IPC, eight.IPC)
+	}
+	if one.IPC > 1.35 {
+		t.Errorf("1 write port sustained IPC %.3f, should be near 1", one.IPC)
+	}
+}
+
+func TestReadPortContentionThrottles(t *testing.T) {
+	insts := mkTrace(t, "applu", 0, 6000)
+	two := runOn(t, arch.Profiling().With(arch.RFReadPorts, 2), insts, Options{WarmupInsts: 6000})
+	sixteen := runOn(t, arch.Profiling().With(arch.RFReadPorts, 16), insts, Options{WarmupInsts: 6000})
+	if two.IPC >= sixteen.IPC {
+		t.Errorf("2 read ports IPC %.3f not below 16 ports %.3f", two.IPC, sixteen.IPC)
+	}
+}
+
+func TestBranchLimitThrottlesBranchyCode(t *testing.T) {
+	// parser is branch-dense: allowing only 8 in-flight branches stalls
+	// fetch more than allowing 32.
+	insts := mkTrace(t, "parser", 0, 6000)
+	few := runOn(t, arch.Profiling().With(arch.MaxBranches, 8), insts, Options{WarmupInsts: 6000})
+	many := runOn(t, arch.Profiling().With(arch.MaxBranches, 32), insts, Options{WarmupInsts: 6000})
+	if few.IPC > many.IPC*1.02 {
+		t.Errorf("tight branch limit IPC %.3f above loose %.3f", few.IPC, many.IPC)
+	}
+}
+
+func TestICacheFootprintPressure(t *testing.T) {
+	// gcc has a large code footprint: an 8KB I-cache must miss far more
+	// than a 128KB one.
+	insts := mkTrace(t, "gcc", 0, 8000)
+	small := runOn(t, arch.Baseline().With(arch.ICacheKB, 8), insts, Options{WarmupInsts: 8000})
+	big := runOn(t, arch.Baseline().With(arch.ICacheKB, 128), insts, Options{WarmupInsts: 8000})
+	if small.L1IMisses <= big.L1IMisses {
+		t.Errorf("8KB I-cache misses %d not above 128KB %d", small.L1IMisses, big.L1IMisses)
+	}
+}
+
+func TestTinyLSQThrottlesMemoryCode(t *testing.T) {
+	insts := mkTrace(t, "swim", 0, 6000)
+	tiny := runOn(t, arch.Profiling().With(arch.LSQSize, 8), insts, Options{WarmupInsts: 6000})
+	big := runOn(t, arch.Profiling().With(arch.LSQSize, 80), insts, Options{WarmupInsts: 6000})
+	if tiny.IPC >= big.IPC {
+		t.Errorf("8-entry LSQ IPC %.3f not below 80-entry %.3f", tiny.IPC, big.IPC)
+	}
+}
+
+func TestSmallRFThrottles(t *testing.T) {
+	// 40 registers leave only 8 renames in flight per bank: a hard ILP
+	// ceiling next to 160 registers.
+	insts := mkTrace(t, "sixtrack", 0, 6000)
+	small := runOn(t, arch.Profiling().With(arch.RFSize, 40), insts, Options{WarmupInsts: 6000})
+	big := runOn(t, arch.Profiling().With(arch.RFSize, 160), insts, Options{WarmupInsts: 6000})
+	if small.IPC >= big.IPC {
+		t.Errorf("40-reg RF IPC %.3f not below 160-reg %.3f", small.IPC, big.IPC)
+	}
+}

@@ -1,0 +1,573 @@
+package cpu
+
+import (
+	"errors"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+const (
+	wbWindow         = 4096 // write-port scheduling horizon, cycles
+	neverCycle       = ^uint64(0)
+	wpRingSize       = 64   // fetch history replayed down the wrong path
+	maxCyclesPerInst = 2000 // runaway guard
+)
+
+// fetchedInst is a fetch-buffer slot (fetched, not yet dispatched).
+type fetchedInst struct {
+	inst       trace.Inst
+	fetchCycle uint64
+	wrongPath  bool
+	mispred    bool // this branch was mispredicted; fetch went wrong-path
+}
+
+// runState is the transient pipeline state for one Run.
+type runState struct {
+	rob      []entry // ring, capacity = ROB size
+	headSeq  uint64  // sequence number of the oldest in-flight entry
+	nextSeq  uint64  // sequence number the next dispatched entry gets
+	robCount int
+	iqCount  int
+	lsqCount int
+
+	allocInt, allocFp int // allocated physical registers beyond architectural
+
+	regProducer [trace.NumRegs]int64 // seq of latest in-flight producer, -1 none
+
+	fetchBuf []fetchedInst
+	fbHead   int
+	wbUsed   [wbWindow]uint16
+
+	cycle           uint64
+	fetchStallUntil uint64
+	wrongPathMode   bool
+	unresolved      int // in-flight correct-path branches not yet resolved
+
+	stash      trace.Inst // branch refused by the in-flight limit, refetched later
+	stashValid bool
+
+	wpRing  [wpRingSize]trace.Inst
+	wpCount int
+	wpPos   int
+
+	fetchedCorrect uint64
+
+	acc power.Account
+	res Result
+	cnt *collector
+}
+
+// fbLen returns the number of fetched-but-undispatched instructions.
+func (st *runState) fbLen() int { return len(st.fetchBuf) - st.fbHead }
+
+// Run simulates n correct-path instructions from src under opts and
+// returns the result. The simulation ends when all n instructions have
+// committed and the pipeline has drained.
+func (s *Sim) Run(src Source, n int, opts Options) (*Result, error) {
+	if n <= 0 {
+		return nil, errors.New("cpu: instruction count must be positive")
+	}
+	if opts.WarmupInsts > 0 {
+		warm := opts
+		warm.WarmupInsts = 0
+		warm.Collect = false
+		warm.StartStall = 0
+		warm.FlushCaches = opts.FlushCaches
+		warm.ExtraEnergyPJ = 0
+		if _, err := s.Run(src, opts.WarmupInsts, warm); err != nil {
+			return nil, err
+		}
+		opts.FlushCaches = false
+	}
+	if opts.FlushCaches {
+		s.hier.Flush()
+	}
+	s.bp.ResetStats()
+	s.hier.L1I.ResetStats()
+	s.hier.L1D.ResetStats()
+	s.hier.L2.ResetStats()
+
+	st := &runState{
+		rob:      make([]entry, s.cfg[arch.ROBSize]),
+		fetchBuf: make([]fetchedInst, 0, s.cfg[arch.Width]*8),
+	}
+	for i := range st.regProducer {
+		st.regProducer[i] = -1
+	}
+	st.fetchStallUntil = opts.StartStall
+	if opts.Collect {
+		c, err := newCollector(s.cfg, opts.SampledSets)
+		if err != nil {
+			return nil, err
+		}
+		st.cnt = c
+	}
+	if opts.ExtraEnergyPJ > 0 {
+		st.acc.Add(power.StructClock, opts.ExtraEnergyPJ)
+	}
+
+	target := uint64(n)
+	limit := uint64(n)*maxCyclesPerInst + 100_000
+	for {
+		st.cycle++
+		if st.cycle > limit {
+			return nil, errors.New("cpu: cycle limit exceeded (pipeline deadlock?)")
+		}
+		s.commit(st)
+		s.scanWindow(st)
+		s.dispatch(st)
+		s.fetch(st, src, target)
+
+		// Per-cycle energy: clock tree plus the conditional-clocking floor.
+		st.acc.Add(power.StructClock, s.pm.ClockPerCyc+s.pm.IdlePerCyc)
+		if st.cnt != nil {
+			st.cnt.perCycle(s, st)
+		}
+		// Expire the write-port slot for the cycle that just passed; it is
+		// not needed again until the ring wraps, far beyond any latency.
+		st.wbUsed[st.cycle%wbWindow] = 0
+
+		if st.res.Committed >= target && st.robCount == 0 && st.fbLen() == 0 && !st.stashValid {
+			break
+		}
+	}
+
+	st.res.Config = s.cfg
+	st.res.Cycles = st.cycle
+	st.res.BranchLookups = s.bp.Lookups
+	st.res.Mispredicts = s.bp.Mispredicts
+	st.res.BTBMisses = s.bp.BTBMisses
+	st.res.L1IAccesses = s.hier.L1I.Accesses
+	st.res.L1IMisses = s.hier.L1I.Misses
+	st.res.L1DAccesses = s.hier.L1D.Accesses
+	st.res.L1DMisses = s.hier.L1D.Misses
+	st.res.L2Accesses = s.hier.L2.Accesses
+	st.res.L2Misses = s.hier.L2.Misses
+	st.res.Energy = s.pm.Summarize(&st.acc, st.cycle)
+	st.res.finalize(s.pm)
+	if st.cnt != nil {
+		st.res.Counters = st.cnt.finish(s, &st.res)
+	}
+	out := st.res
+	return &out, nil
+}
+
+// slot returns the ROB ring slot for seq.
+func (st *runState) slot(seq uint64) *entry {
+	return &st.rob[seq%uint64(len(st.rob))]
+}
+
+// commit retires up to Width completed entries from the ROB head, in
+// order.
+func (s *Sim) commit(st *runState) {
+	w := s.cfg[arch.Width]
+	for k := 0; k < w && st.robCount > 0; k++ {
+		e := st.slot(st.headSeq)
+		if e.mispred && !e.resolved {
+			return // wait for the flush this branch will trigger
+		}
+		if e.state != stCompleted || e.complete > st.cycle {
+			return
+		}
+		if e.wrongPath {
+			// Wrong-path entries are removed by the flush, never committed.
+			return
+		}
+		if e.inLSQ {
+			st.lsqCount--
+		}
+		if e.inst.Dst >= 0 && st.regProducer[e.inst.Dst] == int64(st.headSeq) {
+			st.regProducer[e.inst.Dst] = -1
+		}
+		s.freeDst(st, e)
+		st.acc.Add(power.StructROB, s.pm.ROBAccess) // retirement read
+		st.headSeq++
+		st.robCount--
+		st.res.Committed++
+	}
+}
+
+func (s *Sim) freeDst(st *runState, e *entry) {
+	switch e.dstBank {
+	case 0:
+		st.allocInt--
+	case 1:
+		st.allocFp--
+	}
+	e.dstBank = -1
+}
+
+// scanWindow walks the in-flight window once per cycle: it transitions
+// issued entries to completed, resolves branches (triggering the flush on
+// a misprediction), and issues ready entries oldest-first subject to
+// functional-unit, read-port and issue-width limits.
+func (s *Sim) scanWindow(st *runState) {
+	issueBudget := s.cfg[arch.Width]
+	rdPorts := s.cfg[arch.RFReadPorts]
+	intALU, intMul, fpALU, fpMul, memPort := s.nIntALU, s.nIntMul, s.nFpALU, s.nFpMul, s.nMemPort
+
+	rdUsed := 0
+	for seq := st.headSeq; seq < st.nextSeq; seq++ {
+		e := st.slot(seq)
+		// Writeback transition.
+		if e.state == stIssued && e.complete <= st.cycle {
+			e.state = stCompleted
+			// Wakeup broadcast to the issue queue.
+			st.acc.Add(power.StructIQ, s.pm.IQWakeup)
+			if e.inst.Dst >= 0 && !e.wrongPath {
+				st.acc.Add(power.StructRF, s.pm.RFWrite)
+			}
+			if e.inst.Op == trace.Branch && !e.resolved && !e.wrongPath {
+				e.resolved = true
+				st.unresolved--
+				if e.mispred {
+					s.flushAfter(st, seq)
+					return // window contents changed; end this cycle's scan
+				}
+			}
+		}
+		if e.state != stDispatched || !e.inIQ {
+			continue
+		}
+		if issueBudget == 0 {
+			continue // keep walking: writeback transitions must still run
+		}
+		if !s.srcReady(st, e.srcSeq1) || !s.srcReady(st, e.srcSeq2) {
+			continue
+		}
+		nsrc := 0
+		if e.inst.Src1 >= 0 {
+			nsrc++
+		}
+		if e.inst.Src2 >= 0 {
+			nsrc++
+		}
+		if rdUsed+nsrc > rdPorts {
+			continue
+		}
+		var fu *int
+		switch e.inst.Op {
+		case trace.IntALU, trace.Branch, trace.Store:
+			fu = &intALU
+		case trace.IntMul:
+			fu = &intMul
+		case trace.FpALU:
+			fu = &fpALU
+		case trace.FpMul:
+			fu = &fpMul
+		default: // Load
+			fu = &memPort
+		}
+		if *fu == 0 {
+			continue
+		}
+		if e.inst.Op == trace.Store && memPort == 0 {
+			continue
+		}
+		*fu--
+		if e.inst.Op == trace.Store {
+			memPort--
+		}
+		rdUsed += nsrc
+		issueBudget--
+
+		lat := s.execLatency(e.inst.Op)
+		st.acc.Add(power.StructIQ, s.pm.IQIssue)
+		st.acc.Add(power.StructRF, float64(nsrc)*s.pm.RFRead)
+		switch e.inst.Op {
+		case trace.Load, trace.Store:
+			lvl := s.hier.AccessData(e.inst.Addr)
+			st.acc.Add(power.StructDCache, s.pm.DCacheAccess)
+			st.acc.Add(power.StructLSQ, s.pm.LSQAccess)
+			if e.inst.Op == trace.Load {
+				switch lvl {
+				case cache.L2Hit:
+					lat = uint64(s.pm.L2Latency)
+					st.acc.Add(power.StructL2, s.pm.L2Access)
+				case cache.Memory:
+					lat = uint64(s.pm.MemLatency)
+					st.acc.Add(power.StructL2, s.pm.L2Access+s.pm.MemAccess)
+				}
+			} else if lvl != cache.L1Hit {
+				st.acc.Add(power.StructL2, s.pm.L2Access)
+			}
+			if st.cnt != nil && !e.wrongPath {
+				st.cnt.observeData(e.inst.Addr)
+			}
+		case trace.IntALU, trace.Branch:
+			st.acc.Add(power.StructFU, s.pm.IntOp)
+		case trace.IntMul, trace.FpMul:
+			st.acc.Add(power.StructFU, s.pm.MulOp)
+		case trace.FpALU:
+			st.acc.Add(power.StructFU, s.pm.FpOp)
+		}
+
+		// Write-port scheduling: completion lands on the first cycle at or
+		// after the nominal finish with a free write port.
+		fin := st.cycle + lat
+		if e.inst.Dst >= 0 {
+			for st.wbUsed[fin%wbWindow] >= uint16(s.cfg[arch.RFWritePorts]) {
+				fin++
+			}
+			st.wbUsed[fin%wbWindow]++
+		}
+		e.complete = fin
+		e.state = stIssued
+		e.inIQ = false
+		st.iqCount--
+		if st.cnt != nil {
+			st.cnt.issued(st, e, nsrc)
+		}
+	}
+}
+
+// srcReady reports whether the operand produced by seq is available.
+func (s *Sim) srcReady(st *runState, seq int64) bool {
+	if seq < 0 || uint64(seq) < st.headSeq {
+		return true // no producer, or producer already committed
+	}
+	p := st.slot(uint64(seq))
+	return p.state != stDispatched && p.complete <= st.cycle
+}
+
+// flushAfter squashes every entry younger than seq (all wrong-path),
+// restores resource counts, and redirects fetch to the correct path.
+func (s *Sim) flushAfter(st *runState, seq uint64) {
+	for q := seq + 1; q < st.nextSeq; q++ {
+		e := st.slot(q)
+		if e.inIQ {
+			st.iqCount--
+		}
+		if e.inLSQ {
+			st.lsqCount--
+		}
+		s.freeDst(st, e)
+		st.robCount--
+	}
+	st.nextSeq = seq + 1
+	// Producers among the squashed entries are gone.
+	for r := range st.regProducer {
+		if st.regProducer[r] > int64(seq) {
+			st.regProducer[r] = -1
+		}
+	}
+	st.fetchBuf = st.fetchBuf[:0]
+	st.fbHead = 0
+	st.wrongPathMode = false
+	st.wpPos = 0
+	// Redirect: the front-end refill delay is modelled by dispatch's
+	// FrontEndStages latency on newly fetched instructions; the extra
+	// stall covers resolution-to-redirect wiring.
+	redirect := st.cycle + uint64(s.pm.MispredictCycles-s.pm.FrontEndStages)
+	if redirect < st.cycle+1 {
+		redirect = st.cycle + 1
+	}
+	if redirect > st.fetchStallUntil {
+		st.fetchStallUntil = redirect
+	}
+}
+
+// dispatch moves fetched instructions into the window, allocating ROB, IQ,
+// LSQ and physical-register resources.
+func (s *Sim) dispatch(st *runState) {
+	w := s.cfg[arch.Width]
+	fe := uint64(s.pm.FrontEndStages)
+	freeInt := s.cfg[arch.RFSize] - trace.NumIntRegs
+	freeFp := s.cfg[arch.RFSize] - trace.NumFpRegs
+	for done := 0; done < w && st.fbHead < len(st.fetchBuf); done++ {
+		f := &st.fetchBuf[st.fbHead]
+		if f.fetchCycle+fe > st.cycle {
+			break // still in the front-end pipeline
+		}
+		if st.robCount >= s.cfg[arch.ROBSize] || st.iqCount >= s.cfg[arch.IQSize] {
+			break
+		}
+		if f.inst.Op.IsMem() && st.lsqCount >= s.cfg[arch.LSQSize] {
+			break
+		}
+		bank := int8(-1)
+		if f.inst.Dst >= 0 {
+			if int(f.inst.Dst) < trace.NumIntRegs {
+				if st.allocInt >= freeInt {
+					break
+				}
+				st.allocInt++
+				bank = 0
+			} else {
+				if st.allocFp >= freeFp {
+					break
+				}
+				st.allocFp++
+				bank = 1
+			}
+		}
+		seq := st.nextSeq
+		e := st.slot(seq)
+		*e = entry{
+			inst:      f.inst,
+			state:     stDispatched,
+			wrongPath: f.wrongPath,
+			mispred:   f.mispred,
+			complete:  neverCycle,
+			dstBank:   bank,
+			inIQ:      true,
+			srcSeq1:   st.producerOf(f.inst.Src1),
+			srcSeq2:   st.producerOf(f.inst.Src2),
+		}
+		if f.inst.Op.IsMem() {
+			e.inLSQ = true
+			st.lsqCount++
+			st.acc.Add(power.StructLSQ, s.pm.LSQAccess)
+		}
+		if f.inst.Dst >= 0 {
+			st.regProducer[f.inst.Dst] = int64(seq)
+		}
+		st.nextSeq++
+		st.robCount++
+		st.iqCount++
+		st.acc.Add(power.StructROB, s.pm.ROBAccess)
+		st.acc.Add(power.StructIQ, s.pm.IQInsert)
+		st.acc.Add(power.StructRename, s.pm.RenameOp)
+		if st.cnt != nil {
+			st.cnt.dispatched(st, e)
+		}
+		if f.wrongPath {
+			st.res.WrongPath++
+		}
+		st.fbHead++
+	}
+	if st.fbHead == len(st.fetchBuf) {
+		st.fetchBuf = st.fetchBuf[:0]
+		st.fbHead = 0
+	}
+}
+
+// producerOf returns the in-flight producer seq for register r, or -1.
+func (st *runState) producerOf(r int8) int64 {
+	if r < 0 {
+		return -1
+	}
+	return st.regProducer[r]
+}
+
+// fetch brings up to Width instructions into the fetch buffer, consulting
+// the I-cache and the branch predictor, honouring the in-flight branch
+// limit and injecting wrong-path instructions after a misprediction.
+func (s *Sim) fetch(st *runState, src Source, target uint64) {
+	if st.cycle < st.fetchStallUntil {
+		return
+	}
+	w := s.cfg[arch.Width]
+	for k := 0; k < w; k++ {
+		if st.fbLen() >= w*7 {
+			return // fetch buffer nearly full
+		}
+		var in trace.Inst
+		wrong := st.wrongPathMode
+		switch {
+		case wrong:
+			in = s.nextWrongPath(st)
+		case st.stashValid:
+			in = st.stash
+			st.stashValid = false
+		case st.fetchedCorrect < target:
+			in = src.Next()
+			st.fetchedCorrect++
+		default:
+			return // trace exhausted; drain
+		}
+
+		isBranch := in.Op == trace.Branch && !wrong
+		if isBranch && st.unresolved >= s.cfg[arch.MaxBranches] {
+			// Cannot speculate past more in-flight branches: hold the
+			// branch and retry next cycle.
+			st.stash = in
+			st.stashValid = true
+			return
+		}
+
+		fc := st.cycle
+		missed := false
+		if k == 0 {
+			// One I-cache access per fetch group.
+			lvl := s.hier.AccessFetch(in.PC)
+			st.acc.Add(power.StructICache, s.pm.ICacheAccess)
+			if lvl != cache.L1Hit {
+				var lat uint64
+				if lvl == cache.L2Hit {
+					lat = uint64(s.pm.L2Latency)
+					st.acc.Add(power.StructL2, s.pm.L2Access)
+				} else {
+					lat = uint64(s.pm.MemLatency)
+					st.acc.Add(power.StructL2, s.pm.L2Access+s.pm.MemAccess)
+				}
+				st.fetchStallUntil = st.cycle + lat
+				fc = st.fetchStallUntil // arrives when the miss returns
+				missed = true
+			} else if st.cnt != nil && !wrong {
+				st.cnt.observeFetch(in.PC)
+			}
+		}
+
+		f := fetchedInst{inst: in, fetchCycle: fc, wrongPath: wrong}
+		if isBranch {
+			st.acc.Add(power.StructBpred, s.pm.BpredLookup+s.pm.BTBLookup)
+			correct := s.bp.Update(in.PC, in.Taken, in.Target)
+			st.unresolved++
+			if st.cnt != nil {
+				st.cnt.branchFetched(in)
+			}
+			if !correct {
+				f.mispred = true
+				st.wrongPathMode = true
+			}
+		}
+		st.fetchBuf = append(st.fetchBuf, f)
+		st.res.Fetched++
+		if !wrong {
+			s.recordFetch(st, in)
+		}
+		if missed {
+			return // the group ends at an I-cache miss
+		}
+		if isBranch && (f.mispred || in.Taken) {
+			return // redirect (taken) or switch to the wrong path
+		}
+	}
+}
+
+// recordFetch appends the instruction to the wrong-path replay ring.
+func (s *Sim) recordFetch(st *runState, in trace.Inst) {
+	st.wpRing[st.wpCount%wpRingSize] = in
+	st.wpCount++
+}
+
+// nextWrongPath synthesizes the next wrong-path instruction by replaying
+// recent fetch history at a shifted address: plausible nearby code that
+// occupies resources and pollutes the caches until the flush.
+func (s *Sim) nextWrongPath(st *runState) trace.Inst {
+	if st.wpCount == 0 {
+		return trace.Inst{Op: trace.IntALU, Dst: 1, Src1: 2, Src2: 3, PC: 0x1000}
+	}
+	n := st.wpCount
+	if n > wpRingSize {
+		n = wpRingSize
+	}
+	in := st.wpRing[st.wpPos%n]
+	st.wpPos++
+	in.PC += 256 // nearby, but distinct, code
+	if in.Op.IsMem() {
+		in.Addr += 64
+	}
+	if in.Op == trace.Branch {
+		// Wrong-path branches execute as plain ALU ops: they occupy
+		// resources but cannot redirect fetch or resolve.
+		in.Op = trace.IntALU
+		in.Dst = 1
+		in.Taken = false
+	}
+	return in
+}

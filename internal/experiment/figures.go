@@ -1,0 +1,277 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/render"
+	"repro/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Table III: the best overall static configuration.
+
+// TableIIIReport is the derived best-static configuration next to the
+// paper's published one.
+type TableIIIReport struct {
+	Derived arch.Config
+	Paper   arch.Config
+}
+
+// TableIII derives the report from the dataset.
+func (ds *Dataset) TableIII() TableIIIReport {
+	return TableIIIReport{Derived: ds.BestStatic, Paper: arch.Baseline()}
+}
+
+// Render formats the table.
+func (r TableIIIReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III: best overall static configuration\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "Param", "derived", "paper")
+	for p := arch.Param(0); p < arch.NumParams; p++ {
+		fmt.Fprintf(&b, "%-10s %12d %12d\n", p, r.Derived[p], r.Paper[p])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figures 4, 5 and 6: suite-wide comparisons against the best static.
+
+// ProgramRow is one benchmark's entry in the suite-wide figures.
+type ProgramRow struct {
+	Program string
+	// Efficiency ratios vs the best overall static configuration.
+	ModelAdvanced float64 // Figure 4/6: the paper's headline scheme
+	ModelBasic    float64 // Figure 4: standard counters
+	PerProgram    float64 // Figure 6: specialised static per program
+	Oracle        float64 // Figure 6: ideal per-phase dynamic
+	// Figure 5 breakdown (advanced model vs best static).
+	PerfRatio   float64 // ips ratio (>1 is faster)
+	EnergyRatio float64 // joules ratio (<1 uses less energy)
+}
+
+// SuiteReport aggregates the suite-wide figures' data.
+type SuiteReport struct {
+	Rows []ProgramRow
+	// Geometric means across programs.
+	GeoModelAdvanced, GeoModelBasic, GeoPerProgram, GeoOracle float64
+	GeoPerfRatio, GeoEnergyRatio                              float64
+	// ShareOfOracle = (advanced model mean gain) / (oracle mean gain),
+	// the paper's "74% of the improvement available".
+	ShareOfOracle float64
+}
+
+// Suite computes Figures 4, 5 and 6 from the dataset and the two LOOCV
+// evaluations.
+func (ds *Dataset) Suite(adv, basic *Evaluation) SuiteReport {
+	var rep SuiteReport
+	staticChoose := Static(ds.BestStatic)
+	var rAdv, rBasic, rPer, rOrc, rPerf, rEn []float64
+	for _, prog := range ds.Programs() {
+		phases := ds.ProgramPhases(prog)
+		row := ProgramRow{Program: prog}
+		row.ModelAdvanced = ds.RatioMean(phases, adv.Choose())
+		row.ModelBasic = ds.RatioMean(phases, basic.Choose())
+		// Per-program static first: its candidate evaluations enter the
+		// sample space before the oracle row reads the per-phase bests.
+		row.PerProgram = ds.RatioMean(phases, Static(ds.PerProgramStatic(prog)))
+		row.Oracle = ds.RatioMean(phases, ds.Oracle())
+		ipsB, enB := ds.AggregatePerf(phases, staticChoose)
+		ipsM, enM := ds.AggregatePerf(phases, adv.Choose())
+		if ipsB > 0 && enB > 0 {
+			row.PerfRatio = ipsM / ipsB
+			row.EnergyRatio = enM / enB
+		}
+		rep.Rows = append(rep.Rows, row)
+		rAdv = append(rAdv, row.ModelAdvanced)
+		rBasic = append(rBasic, row.ModelBasic)
+		rPer = append(rPer, row.PerProgram)
+		rOrc = append(rOrc, row.Oracle)
+		rPerf = append(rPerf, row.PerfRatio)
+		rEn = append(rEn, row.EnergyRatio)
+	}
+	rep.GeoModelAdvanced = stats.GeoMean(rAdv)
+	rep.GeoModelBasic = stats.GeoMean(rBasic)
+	rep.GeoPerProgram = stats.GeoMean(rPer)
+	rep.GeoOracle = stats.GeoMean(rOrc)
+	rep.GeoPerfRatio = stats.GeoMean(rPerf)
+	rep.GeoEnergyRatio = stats.GeoMean(rEn)
+	if rep.GeoOracle > 1 {
+		rep.ShareOfOracle = (rep.GeoModelAdvanced - 1) / (rep.GeoOracle - 1)
+	}
+	return rep
+}
+
+// Render formats the suite report as the three figures' data tables.
+func (r SuiteReport) Render() string {
+	var b strings.Builder
+	b.WriteString("Figures 4/5/6: efficiency vs best overall static (ratios, higher is better)\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s | %7s %7s\n",
+		"program", "adv", "basic", "perProg", "oracle", "perf", "energy")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %8.2f %8.2f %8.2f %8.2f | %7.2f %7.2f\n",
+			row.Program, row.ModelAdvanced, row.ModelBasic, row.PerProgram, row.Oracle,
+			row.PerfRatio, row.EnergyRatio)
+	}
+	fmt.Fprintf(&b, "%-10s %8.2f %8.2f %8.2f %8.2f | %7.2f %7.2f\n",
+		"GEOMEAN", r.GeoModelAdvanced, r.GeoModelBasic, r.GeoPerProgram, r.GeoOracle,
+		r.GeoPerfRatio, r.GeoEnergyRatio)
+	fmt.Fprintf(&b, "share of oracle improvement captured: %.0f%% (paper: 74%%)\n", 100*r.ShareOfOracle)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: per-phase distribution of the model's efficiency.
+
+// Figure7Report holds the per-phase ratios and their histogram/ECDF.
+type Figure7Report struct {
+	// VsBaseline: phase efficiency under the predicted config, relative
+	// to the best static on that phase (Figure 7a).
+	VsBaseline []float64
+	// VsBest: relative to the best configuration found for the phase
+	// (Figure 7b).
+	VsBest []float64
+
+	// BetterThanBaselineFrac is the fraction of phases where the model
+	// beats the baseline (the paper reports 80%).
+	BetterThanBaselineFrac float64
+	// AtLeast74PctOfBestFrac is the fraction of phases achieving >= 74%
+	// of the best (the paper reports ~50%).
+	AtLeast74PctOfBestFrac float64
+	// BeatsSampledBestFrac is the fraction of phases where the prediction
+	// beats the best found in the sample space (paper: ~9%).
+	BeatsSampledBestFrac float64
+}
+
+// Figure7 computes the per-phase ratio distributions for the advanced
+// model evaluation.
+func (ds *Dataset) Figure7(adv *Evaluation) (Figure7Report, error) {
+	var rep Figure7Report
+	for _, id := range ds.Phases {
+		pres, err := ds.Result(id, adv.Predicted[id])
+		if err != nil {
+			return rep, err
+		}
+		bres, err := ds.Result(id, ds.BestStatic)
+		if err != nil {
+			return rep, err
+		}
+		best, err := ds.Result(id, ds.Best[id])
+		if err != nil {
+			return rep, err
+		}
+		if bres.Efficiency > 0 {
+			rep.VsBaseline = append(rep.VsBaseline, pres.Efficiency/bres.Efficiency)
+		}
+		if best.Efficiency > 0 {
+			rep.VsBest = append(rep.VsBest, pres.Efficiency/best.Efficiency)
+		}
+	}
+	n := float64(len(rep.VsBaseline))
+	for _, v := range rep.VsBaseline {
+		if v > 1 {
+			rep.BetterThanBaselineFrac += 1 / n
+		}
+	}
+	m := float64(len(rep.VsBest))
+	for _, v := range rep.VsBest {
+		if v >= 0.74 {
+			rep.AtLeast74PctOfBestFrac += 1 / m
+		}
+		if v > 1 {
+			rep.BeatsSampledBestFrac += 1 / m
+		}
+	}
+	return rep, nil
+}
+
+// Render formats Figure 7 as histogram rows plus the ECDF summary.
+func (r Figure7Report) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7a: phase efficiency vs baseline (histogram + ECDF-from-right)\n")
+	renderDist(&b, r.VsBaseline, []float64{0.5, 1, 1.5, 2, 3, 4, 8, 16, 32})
+	b.WriteString("Figure 7b: phase efficiency vs per-phase best\n")
+	renderDist(&b, r.VsBest, []float64{0.2, 0.4, 0.6, 0.74, 0.9, 1.0})
+	fmt.Fprintf(&b, "phases better than baseline: %.0f%% (paper: 80%%)\n", 100*r.BetterThanBaselineFrac)
+	fmt.Fprintf(&b, "phases at >= 74%% of best:    %.0f%% (paper: ~50%%)\n", 100*r.AtLeast74PctOfBestFrac)
+	fmt.Fprintf(&b, "phases beating sampled best: %.0f%% (paper: ~9%%)\n", 100*r.BeatsSampledBestFrac)
+	return b.String()
+}
+
+func renderDist(b *strings.Builder, xs, thresholds []float64) {
+	ecdf := stats.ECDF(xs, thresholds)
+	for i, t := range thresholds {
+		fmt.Fprintf(b, "  >= %5.2fx: %5.1f%%\n", t, 100*ecdf[i])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: best achievable efficiency when one parameter is pinned.
+
+// Figure8Value is one violin: the distribution over phases of the best
+// efficiency achievable with parameter fixed at Value, relative to the
+// phase's overall best.
+type Figure8Value struct {
+	Value    int
+	Violin   stats.Violin
+	BestPct  float64 // % of phases for which this value is optimal
+	Coverage int     // phases with at least one sampled config at Value
+}
+
+// Figure8Report holds the violins for one parameter.
+type Figure8Report struct {
+	Param  arch.Param
+	Values []Figure8Value
+}
+
+// Figure8 computes the pinned-parameter distributions for one parameter.
+func (ds *Dataset) Figure8(p arch.Param) Figure8Report {
+	rep := Figure8Report{Param: p}
+	bestCount := map[int]int{}
+	for _, id := range ds.Phases {
+		bestCount[ds.Best[id][p]]++
+	}
+	for _, v := range arch.Domain(p) {
+		var ratios []float64
+		for _, id := range ds.Phases {
+			bestOverall := ds.results[id][ds.Best[id]].res.Efficiency
+			bestPinned := -1.0
+			for cfg, e := range ds.results[id] {
+				if e.inSample && cfg[p] == v && e.res.Efficiency > bestPinned {
+					bestPinned = e.res.Efficiency
+				}
+			}
+			if bestPinned >= 0 && bestOverall > 0 {
+				ratios = append(ratios, bestPinned/bestOverall)
+			}
+		}
+		if len(ratios) == 0 {
+			continue
+		}
+		rep.Values = append(rep.Values, Figure8Value{
+			Value:    v,
+			Violin:   stats.Summarize(ratios),
+			BestPct:  100 * float64(bestCount[v]) / float64(len(ds.Phases)),
+			Coverage: len(ratios),
+		})
+	}
+	sort.Slice(rep.Values, func(i, j int) bool { return rep.Values[i].Value < rep.Values[j].Value })
+	return rep
+}
+
+// Render formats the violins, one strip per value as in the paper's plot.
+func (r Figure8Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: best achievable efficiency with %s pinned (1.0 = phase best)\n", r.Param)
+	fmt.Fprintf(&b, "%8s %6s %6s %6s %6s %6s %7s %5s  %s\n",
+		"value", "min", "q1", "med", "q3", "max", "best%", "n", "0 ........ 1")
+	for _, v := range r.Values {
+		fmt.Fprintf(&b, "%8d %6.2f %6.2f %6.2f %6.2f %6.2f %6.1f%% %5d  %s\n",
+			v.Value, v.Violin.Min, v.Violin.Q1, v.Violin.Median, v.Violin.Q3, v.Violin.Max,
+			v.BestPct, v.Coverage,
+			render.ViolinStrip(v.Violin.Min, v.Violin.Q1, v.Violin.Median, v.Violin.Q3, v.Violin.Max, 30))
+	}
+	return b.String()
+}

@@ -1,0 +1,409 @@
+// Package multicore implements the paper's closing future-work direction:
+// per-core predictive adaptivity on a chip multiprocessor. Each core runs
+// its own workload and adapts its private resources with the trained
+// predictor; the unified L2 is a shared budget partitioned between cores
+// by a policy, and main-memory bandwidth is shared, so one core's traffic
+// slows the others. The paper conjectures this yields "true heterogeneity"
+// — cores of one chip specialising to their workloads — which the
+// heterogeneity metric below makes measurable.
+//
+// Sharing is modelled at interval granularity: cores simulate their
+// intervals independently (their private simulators carry per-core L1s,
+// predictors and an L2 slice of the partitioned budget), then a bandwidth
+// model stretches each interval by the contention the cores' combined
+// memory traffic would have caused.
+package multicore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/cpu"
+	"repro/internal/trace"
+)
+
+// CoreSpec describes one core's workload.
+type CoreSpec struct {
+	Program    string
+	StartPhase int
+}
+
+// PartitionPolicy divides the shared L2 budget (KB) between cores, given
+// each core's L2 miss count in the previous interval. It returns one legal
+// Table I L2 size per core whose sum must not exceed the budget.
+type PartitionPolicy func(budgetKB int, misses []uint64) []int
+
+// EqualShare splits the budget evenly (rounded down to legal sizes).
+func EqualShare(budgetKB int, misses []uint64) []int {
+	n := len(misses)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = legalL2AtMost(budgetKB / n)
+	}
+	return out
+}
+
+// DemandShare gives each core a slice proportional to its recent L2 miss
+// pressure, with a floor of the smallest legal size.
+func DemandShare(budgetKB int, misses []uint64) []int {
+	n := len(misses)
+	out := make([]int, n)
+	minL2 := arch.Domain(arch.L2CacheKB)[0]
+	total := 0.0
+	for _, m := range misses {
+		total += float64(m) + 1
+	}
+	remaining := budgetKB - n*minL2
+	if remaining < 0 {
+		remaining = 0
+	}
+	for i, m := range misses {
+		share := minL2 + int(float64(remaining)*(float64(m)+1)/total)
+		out[i] = legalL2AtMost(share)
+	}
+	return out
+}
+
+// legalL2AtMost returns the largest legal L2 size not exceeding kb
+// (clamping to the smallest size when kb is below it).
+func legalL2AtMost(kb int) int {
+	d := arch.Domain(arch.L2CacheKB)
+	best := d[0]
+	for _, v := range d {
+		if v <= kb {
+			best = v
+		}
+	}
+	return best
+}
+
+// Options configure the multicore system.
+type Options struct {
+	// Interval is instructions per core per interval.
+	Interval int
+	// L2BudgetKB is the total shared L2 capacity.
+	L2BudgetKB int
+	// Partition divides the budget; nil means DemandShare.
+	Partition PartitionPolicy
+	// RepredictEvery is how many intervals a core runs before it
+	// re-profiles and re-predicts (its private adaptation cadence).
+	RepredictEvery int
+	// MemAccessesPerNs is the shared memory bandwidth: the aggregate
+	// DRAM access rate the chip sustains before contention stretches
+	// execution.
+	MemAccessesPerNs float64
+	// SampledSets for profiling runs.
+	SampledSets int
+	// OverheadScale scales reconfiguration costs, as in core.Options.
+	OverheadScale float64
+	// Start is each core's boot configuration.
+	Start arch.Config
+}
+
+// DefaultOptions returns a sensible scaled setup.
+func DefaultOptions() Options {
+	return Options{
+		Interval:         8000,
+		L2BudgetKB:       4096,
+		RepredictEvery:   4,
+		MemAccessesPerNs: 0.05,
+		SampledSets:      32,
+		OverheadScale:    0.02,
+		Start:            arch.Baseline(),
+	}
+}
+
+// coreState is one core's private machinery.
+type coreState struct {
+	spec    CoreSpec
+	gen     *trace.Generator
+	sim     *cpu.Sim
+	cfg     arch.Config
+	quotaKB int
+	phase   int
+
+	lastL2Misses uint64
+	insts        []trace.Inst
+}
+
+// CoreReport summarises one core's run.
+type CoreReport struct {
+	Spec         CoreSpec
+	FinalConfig  arch.Config
+	TotalInsts   uint64
+	Seconds      float64
+	EnergyJ      float64
+	IPS          float64
+	Efficiency   float64
+	Repredicts   int
+	AvgL2QuotaKB float64
+}
+
+// Report summarises a system run.
+type Report struct {
+	Cores []CoreReport
+	// Heterogeneity is the mean pairwise distance between the cores'
+	// final configurations (0 = identical cores, 1 = opposite corners of
+	// the design space): the paper's "true heterogeneity" made a number.
+	Heterogeneity float64
+	// ContentionStretch is the mean factor by which shared-memory
+	// bandwidth stretched interval times (1 = no contention).
+	ContentionStretch float64
+	// Aggregate chip metrics.
+	TotalIPS   float64
+	TotalWatts float64
+}
+
+// System is a chip of adaptive cores sharing an L2 budget and memory
+// bandwidth.
+type System struct {
+	opts  Options
+	pred  *core.Predictor
+	cores []*coreState
+}
+
+// New builds a system with one core per spec, all driven by the same
+// trained predictor.
+func New(specs []CoreSpec, pred *core.Predictor, opts Options) (*System, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("multicore: no cores")
+	}
+	if pred == nil {
+		return nil, errors.New("multicore: nil predictor")
+	}
+	if opts.Interval <= 0 {
+		return nil, fmt.Errorf("multicore: interval %d must be positive", opts.Interval)
+	}
+	if opts.L2BudgetKB < arch.Domain(arch.L2CacheKB)[0]*len(specs) {
+		return nil, fmt.Errorf("multicore: L2 budget %dKB below %d cores' minimum", opts.L2BudgetKB, len(specs))
+	}
+	if opts.RepredictEvery <= 0 {
+		opts.RepredictEvery = 4
+	}
+	if opts.MemAccessesPerNs <= 0 {
+		return nil, fmt.Errorf("multicore: bandwidth %v must be positive", opts.MemAccessesPerNs)
+	}
+	if opts.Partition == nil {
+		opts.Partition = DemandShare
+	}
+	if err := opts.Start.Check(); err != nil {
+		return nil, err
+	}
+	sys := &System{opts: opts, pred: pred}
+	quota := legalL2AtMost(opts.L2BudgetKB / len(specs))
+	for _, spec := range specs {
+		g, err := trace.NewGenerator(spec.Program, spec.StartPhase)
+		if err != nil {
+			return nil, err
+		}
+		cfg := opts.Start.With(arch.L2CacheKB, quota)
+		sim, err := cpu.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sys.cores = append(sys.cores, &coreState{
+			spec: spec, gen: g, sim: sim, cfg: cfg, quotaKB: quota,
+			phase: spec.StartPhase,
+			insts: make([]trace.Inst, opts.Interval),
+		})
+	}
+	return sys, nil
+}
+
+// Run executes nIntervals on every core and returns the report.
+func (s *System) Run(nIntervals int) (*Report, error) {
+	if nIntervals <= 0 {
+		return nil, fmt.Errorf("multicore: interval count %d must be positive", nIntervals)
+	}
+	rep := &Report{Cores: make([]CoreReport, len(s.cores))}
+	for i, c := range s.cores {
+		rep.Cores[i].Spec = c.spec
+	}
+	stretchSum := 0.0
+	for iv := 0; iv < nIntervals; iv++ {
+		// Re-partition the shared L2 from last interval's miss pressure.
+		misses := make([]uint64, len(s.cores))
+		for i, c := range s.cores {
+			misses[i] = c.lastL2Misses
+		}
+		quotas := s.opts.Partition(s.opts.L2BudgetKB, misses)
+		if err := s.checkQuotas(quotas); err != nil {
+			return nil, err
+		}
+
+		// Run each core's interval privately.
+		type ivRes struct {
+			seconds float64
+			energyJ float64
+			memAcc  uint64
+			leakW   float64
+		}
+		results := make([]ivRes, len(s.cores))
+		for i, c := range s.cores {
+			c.quotaKB = quotas[i]
+			target := c.cfg.With(arch.L2CacheKB, quotas[i])
+			res, err := s.runCoreInterval(c, iv, target, &rep.Cores[i])
+			if err != nil {
+				return nil, fmt.Errorf("multicore: core %d (%s): %w", i, c.spec.Program, err)
+			}
+			results[i] = ivRes{
+				seconds: res.SecondsSim,
+				energyJ: res.EnergyJ,
+				memAcc:  res.L2Misses,
+				leakW:   res.Energy.LeakageJ / math.Max(res.SecondsSim, 1e-18),
+			}
+			c.lastL2Misses = res.L2Misses
+			rep.Cores[i].AvgL2QuotaKB += float64(quotas[i]) / float64(nIntervals)
+		}
+
+		// Shared-memory contention: if the cores' combined DRAM traffic
+		// exceeds the chip bandwidth, every interval stretches by the
+		// overload factor (and leakage accrues over the longer time).
+		var traffic, span float64
+		for _, r := range results {
+			span = math.Max(span, r.seconds)
+			traffic += float64(r.memAcc)
+		}
+		stretch := 1.0
+		if span > 0 {
+			rate := traffic / (span * 1e9) // accesses per ns
+			if rate > s.opts.MemAccessesPerNs {
+				stretch = rate / s.opts.MemAccessesPerNs
+			}
+		}
+		stretchSum += stretch
+		for i, r := range results {
+			sec := r.seconds * stretch
+			extraLeak := r.leakW * (sec - r.seconds)
+			rep.Cores[i].Seconds += sec
+			rep.Cores[i].EnergyJ += r.energyJ + extraLeak
+			rep.Cores[i].TotalInsts += uint64(s.opts.Interval)
+		}
+	}
+
+	// Finalise.
+	var totIPS, totW float64
+	for i := range rep.Cores {
+		cr := &rep.Cores[i]
+		cr.FinalConfig = s.cores[i].cfg
+		if cr.Seconds > 0 {
+			cr.IPS = float64(cr.TotalInsts) / cr.Seconds
+			w := cr.EnergyJ / cr.Seconds
+			if w > 0 {
+				cr.Efficiency = cr.IPS * cr.IPS * cr.IPS / w
+			}
+			totIPS += cr.IPS
+			totW += w
+		}
+	}
+	rep.TotalIPS = totIPS
+	rep.TotalWatts = totW
+	rep.ContentionStretch = stretchSum / float64(nIntervals)
+	rep.Heterogeneity = heterogeneity(s.cores)
+	return rep, nil
+}
+
+// runCoreInterval advances one core by one interval, re-predicting its
+// configuration on its cadence.
+func (s *System) runCoreInterval(c *coreState, iv int, target arch.Config, cr *CoreReport) (*cpu.Result, error) {
+	for i := range c.insts {
+		c.insts[i] = c.gen.Next()
+	}
+	body := c.insts
+	var stall uint64
+	var energy float64
+	if iv%s.opts.RepredictEvery == 0 {
+		// Profile a slice of the interval on the (quota-clamped) profiling
+		// configuration, predict, and adopt the prediction.
+		prof := arch.Profiling().With(arch.L2CacheKB, c.quotaKB)
+		n := len(c.insts) / 8
+		if n < 1 {
+			n = 1
+		}
+		cost := core.Overhead(c.cfg, prof, c.sim.Power())
+		if err := c.sim.Reconfigure(prof); err != nil {
+			return nil, err
+		}
+		pres, err := c.sim.Run(cpu.NewSliceSource(c.insts[:n]), n, cpu.Options{
+			Collect:       true,
+			SampledSets:   s.opts.SampledSets,
+			StartStall:    uint64(float64(cost.StallCycles) * s.opts.OverheadScale),
+			ExtraEnergyPJ: cost.EnergyPJ * s.opts.OverheadScale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		next := s.pred.Predict(counters.Features(pres, s.pred.Set))
+		next[arch.L2CacheKB] = c.quotaKB // the partition owns this knob
+		swCost := core.Overhead(prof, next, c.sim.Power())
+		stall = uint64(float64(swCost.StallCycles) * s.opts.OverheadScale)
+		energy = swCost.EnergyPJ * s.opts.OverheadScale
+		c.cfg = next
+		cr.Repredicts++
+		target = next
+		body = c.insts[n:]
+		// Account the profiling slice's cost to this interval directly.
+		cr.EnergyJ += pres.EnergyJ
+		cr.Seconds += pres.SecondsSim
+	}
+	if c.sim.Config() != target {
+		if err := c.sim.Reconfigure(target); err != nil {
+			return nil, err
+		}
+		c.cfg = target
+	}
+	return c.sim.Run(cpu.NewSliceSource(body), len(body), cpu.Options{
+		StartStall:    stall,
+		ExtraEnergyPJ: energy,
+	})
+}
+
+// checkQuotas validates a partition policy's output.
+func (s *System) checkQuotas(quotas []int) error {
+	if len(quotas) != len(s.cores) {
+		return fmt.Errorf("multicore: policy returned %d quotas for %d cores", len(quotas), len(s.cores))
+	}
+	sum := 0
+	for _, q := range quotas {
+		if arch.IndexOf(arch.L2CacheKB, q) < 0 {
+			return fmt.Errorf("multicore: policy returned illegal L2 size %d", q)
+		}
+		sum += q
+	}
+	if sum > s.opts.L2BudgetKB {
+		return fmt.Errorf("multicore: partition total %dKB exceeds budget %dKB", sum, s.opts.L2BudgetKB)
+	}
+	return nil
+}
+
+// heterogeneity computes the mean pairwise normalised config distance.
+func heterogeneity(cores []*coreState) float64 {
+	if len(cores) < 2 {
+		return 0
+	}
+	total, pairs := 0.0, 0
+	for i := 0; i < len(cores); i++ {
+		for j := i + 1; j < len(cores); j++ {
+			total += configDistance(cores[i].cfg, cores[j].cfg)
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}
+
+// configDistance is the mean per-parameter normalised index distance.
+func configDistance(a, b arch.Config) float64 {
+	d := 0.0
+	for p := arch.Param(0); p < arch.NumParams; p++ {
+		span := float64(arch.DomainSize(p) - 1)
+		if span == 0 {
+			continue
+		}
+		d += math.Abs(float64(arch.IndexOf(p, a[p])-arch.IndexOf(p, b[p]))) / span
+	}
+	return d / float64(arch.NumParams)
+}

@@ -1,0 +1,204 @@
+package multicore
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/experiment"
+)
+
+// A small trained predictor shared by the tests (training is the slow
+// part).
+var (
+	predOnce sync.Once
+	predVal  *core.Predictor
+	predErr  error
+)
+
+func testPredictor(t *testing.T) *core.Predictor {
+	t.Helper()
+	predOnce.Do(func() {
+		sc := experiment.TestScale()
+		sc.Programs = []string{"mcf", "swim", "crafty", "eon"}
+		sc.PhasesPerProgram = 2
+		var ds *experiment.Dataset
+		ds, predErr = experiment.BuildDataset(sc)
+		if predErr != nil {
+			return
+		}
+		predVal, predErr = ds.TrainAll(counters.Advanced)
+	})
+	if predErr != nil {
+		t.Fatal(predErr)
+	}
+	return predVal
+}
+
+func TestNewValidation(t *testing.T) {
+	pred := testPredictor(t)
+	specs := []CoreSpec{{Program: "mcf"}, {Program: "swim"}}
+	if _, err := New(nil, pred, DefaultOptions()); err == nil {
+		t.Error("no cores accepted")
+	}
+	if _, err := New(specs, nil, DefaultOptions()); err == nil {
+		t.Error("nil predictor accepted")
+	}
+	bad := DefaultOptions()
+	bad.Interval = 0
+	if _, err := New(specs, pred, bad); err == nil {
+		t.Error("zero interval accepted")
+	}
+	bad = DefaultOptions()
+	bad.L2BudgetKB = 64
+	if _, err := New(specs, pred, bad); err == nil {
+		t.Error("starved L2 budget accepted")
+	}
+	bad = DefaultOptions()
+	bad.MemAccessesPerNs = 0
+	if _, err := New(specs, pred, bad); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := New([]CoreSpec{{Program: "nope"}}, pred, DefaultOptions()); err == nil {
+		t.Error("unknown program accepted")
+	}
+}
+
+func TestPartitionPolicies(t *testing.T) {
+	misses := []uint64{1000, 10}
+	for name, pol := range map[string]PartitionPolicy{"equal": EqualShare, "demand": DemandShare} {
+		q := pol(4096, misses)
+		if len(q) != 2 {
+			t.Fatalf("%s: %d quotas", name, len(q))
+		}
+		sum := 0
+		for _, v := range q {
+			if arch.IndexOf(arch.L2CacheKB, v) < 0 {
+				t.Errorf("%s: illegal quota %d", name, v)
+			}
+			sum += v
+		}
+		if sum > 4096 {
+			t.Errorf("%s: quotas total %d over budget", name, sum)
+		}
+	}
+	// Demand share must favour the hungrier core.
+	q := DemandShare(4096, misses)
+	if q[0] < q[1] {
+		t.Errorf("demand share gave hungry core %d, quiet core %d", q[0], q[1])
+	}
+	if EqualShare(4096, misses)[0] != EqualShare(4096, misses)[1] {
+		t.Error("equal share unequal")
+	}
+}
+
+func TestLegalL2AtMost(t *testing.T) {
+	cases := map[int]int{100: 256, 256: 256, 300: 256, 1024: 1024, 5000: 4096}
+	for in, want := range cases {
+		if got := legalL2AtMost(in); got != want {
+			t.Errorf("legalL2AtMost(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestTwoCoreRunProducesHeterogeneity(t *testing.T) {
+	pred := testPredictor(t)
+	opts := DefaultOptions()
+	opts.Interval = 4000
+	specs := []CoreSpec{
+		{Program: "mcf"},  // memory-bound
+		{Program: "swim"}, // streaming FP
+	}
+	sys, err := New(specs, pred, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cores) != 2 {
+		t.Fatalf("%d core reports", len(rep.Cores))
+	}
+	for i, cr := range rep.Cores {
+		if !cr.FinalConfig.Valid() {
+			t.Errorf("core %d invalid final config", i)
+		}
+		if cr.TotalInsts != 6*4000 {
+			t.Errorf("core %d ran %d insts", i, cr.TotalInsts)
+		}
+		if cr.Efficiency <= 0 || cr.IPS <= 0 {
+			t.Errorf("core %d bad metrics: %+v", i, cr)
+		}
+		if cr.Repredicts == 0 {
+			t.Errorf("core %d never repredicted", i)
+		}
+		if cr.AvgL2QuotaKB <= 0 {
+			t.Errorf("core %d zero quota", i)
+		}
+	}
+	if rep.Heterogeneity < 0 || rep.Heterogeneity > 1 {
+		t.Errorf("heterogeneity %v out of range", rep.Heterogeneity)
+	}
+	if rep.ContentionStretch < 1 {
+		t.Errorf("contention stretch %v below 1", rep.ContentionStretch)
+	}
+	if rep.TotalIPS <= 0 || rep.TotalWatts <= 0 {
+		t.Errorf("bad chip aggregates: %+v", rep)
+	}
+}
+
+func TestContentionSlowsMemoryHogs(t *testing.T) {
+	pred := testPredictor(t)
+	run := func(bandwidth float64) *Report {
+		opts := DefaultOptions()
+		opts.Interval = 3000
+		opts.MemAccessesPerNs = bandwidth
+		sys, err := New([]CoreSpec{{Program: "mcf"}, {Program: "mcf", StartPhase: 1}}, pred, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.Run(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	wide := run(10.0)    // effectively unconstrained
+	narrow := run(0.001) // heavily constrained
+	if narrow.ContentionStretch <= wide.ContentionStretch {
+		t.Errorf("narrow bandwidth stretch %.2f not above wide %.2f",
+			narrow.ContentionStretch, wide.ContentionStretch)
+	}
+	if narrow.TotalIPS >= wide.TotalIPS {
+		t.Errorf("narrow bandwidth IPS %.3e not below wide %.3e", narrow.TotalIPS, wide.TotalIPS)
+	}
+}
+
+func TestConfigDistance(t *testing.T) {
+	a := arch.MinConfig()
+	if d := configDistance(a, a); d != 0 {
+		t.Errorf("self distance %v", d)
+	}
+	b := arch.Profiling()
+	d := configDistance(a, b)
+	if d <= 0.5 || d > 1 {
+		t.Errorf("min-max distance %v, want in (0.5, 1]", d)
+	}
+	if configDistance(a, b) != configDistance(b, a) {
+		t.Error("distance asymmetric")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	pred := testPredictor(t)
+	sys, err := New([]CoreSpec{{Program: "eon"}}, pred, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(0); err == nil {
+		t.Error("zero intervals accepted")
+	}
+}

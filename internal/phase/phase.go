@@ -1,0 +1,212 @@
+// Package phase provides the program phase analysis the paper's controller
+// depends on: SimPoint-style offline phase extraction (basic-block vectors
+// clustered with k-means) and an online phase-change detector based on
+// working-set signatures (Dhodapkar & Smith), which stage 1 of the paper's
+// runtime scheme uses to decide when to re-profile and reconfigure.
+package phase
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// BBVDim is the dimensionality basic-block vectors are hashed down to,
+// following SimPoint's random-projection practice.
+const BBVDim = 32
+
+// BBV computes the normalised basic-block vector of an instruction
+// interval: execution counts per basic block, hashed into BBVDim buckets
+// and normalised to sum to 1.
+func BBV(insts []trace.Inst) []float64 {
+	v := make([]float64, BBVDim)
+	if len(insts) == 0 {
+		return v
+	}
+	for i := range insts {
+		h := uint64(insts[i].BB) * 0x9e3779b97f4a7c15
+		v[h%BBVDim]++
+	}
+	total := float64(len(insts))
+	for i := range v {
+		v[i] /= total
+	}
+	return v
+}
+
+// ManhattanDistance returns the L1 distance between two equal-length
+// vectors (SimPoint's BBV metric).
+func ManhattanDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("phase: vector lengths differ: %d vs %d", len(a), len(b)))
+	}
+	d := 0.0
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}
+
+// Extraction is the result of offline phase extraction over a sequence of
+// intervals.
+type Extraction struct {
+	// Assignments maps each interval to its phase (cluster) id.
+	Assignments []int
+	// Representatives holds, per phase, the index of the interval closest
+	// to the cluster centroid — the SimPoint.
+	Representatives []int
+	// Weights holds, per phase, the fraction of intervals it covers.
+	Weights []float64
+}
+
+// Phases returns the number of phases found.
+func (e *Extraction) Phases() int { return len(e.Representatives) }
+
+// Extract clusters interval BBVs into at most k phases and picks a
+// representative interval per phase, like SimPoint. It is deterministic
+// for a given input and seed.
+func Extract(bbvs [][]float64, k int, seed uint64) (*Extraction, error) {
+	if len(bbvs) == 0 {
+		return nil, errors.New("phase: no intervals to extract from")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("phase: cluster count %d must be positive", k)
+	}
+	if k > len(bbvs) {
+		k = len(bbvs)
+	}
+	assign, centroids := stats.KMeans(bbvs, k, seed, 100)
+
+	// Drop empty clusters, renumber densely.
+	counts := make([]int, len(centroids))
+	for _, a := range assign {
+		counts[a]++
+	}
+	remap := make([]int, len(centroids))
+	next := 0
+	for c := range centroids {
+		if counts[c] > 0 {
+			remap[c] = next
+			next++
+		} else {
+			remap[c] = -1
+		}
+	}
+	ex := &Extraction{
+		Assignments:     make([]int, len(bbvs)),
+		Representatives: make([]int, next),
+		Weights:         make([]float64, next),
+	}
+	bestDist := make([]float64, next)
+	for i := range bestDist {
+		bestDist[i] = math.Inf(1)
+		ex.Representatives[i] = -1
+	}
+	for i, a := range assign {
+		c := remap[a]
+		ex.Assignments[i] = c
+		ex.Weights[c] += 1 / float64(len(bbvs))
+		d := ManhattanDistance(bbvs[i], centroids[a])
+		if d < bestDist[c] {
+			bestDist[c] = d
+			ex.Representatives[c] = i
+		}
+	}
+	return ex, nil
+}
+
+// Detector is the online phase-change detector: it accumulates a
+// working-set signature (a bit vector of touched code regions) per
+// interval and compares it against the accumulated signature of the
+// current phase (the union of its intervals' signatures, as in Dhodapkar
+// & Smith). Comparing against the phase signature rather than just the
+// previous interval makes detection robust to intervals shorter than the
+// program's loop-walk period: once the phase signature covers the walk,
+// in-phase intervals are subsets of it.
+type Detector struct {
+	bits      []uint64 // current interval's signature
+	phaseSig  []uint64 // accumulated signature of the current phase
+	nbits     uint32
+	threshold float64
+	primed    bool
+	// Stats.
+	Intervals uint64
+	Changes   uint64
+}
+
+// NewDetector builds a detector with a signature of size signatureBits
+// (rounded up to a multiple of 64) firing at the given relative-distance
+// threshold (0..1; Dhodapkar & Smith use ~0.5).
+func NewDetector(signatureBits int, threshold float64) (*Detector, error) {
+	if signatureBits <= 0 {
+		return nil, fmt.Errorf("phase: signature size %d must be positive", signatureBits)
+	}
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("phase: threshold %v must be in (0,1]", threshold)
+	}
+	words := (signatureBits + 63) / 64
+	return &Detector{
+		bits:      make([]uint64, words),
+		phaseSig:  make([]uint64, words),
+		nbits:     uint32(words * 64),
+		threshold: threshold,
+	}, nil
+}
+
+// Observe folds one instruction into the current interval's signature.
+// Only instruction-location bits are used (working set of code), which is
+// what a cheap hardware signature would hash.
+func (d *Detector) Observe(in trace.Inst) {
+	// Hash the instruction's 64-byte code region.
+	h := (uint64(in.PC) >> 6) * 0x9e3779b97f4a7c15
+	bit := uint32(h>>32) % d.nbits
+	d.bits[bit/64] |= 1 << (bit % 64)
+}
+
+// EndInterval closes the current interval, reports whether a phase change
+// was detected, and starts a new one. A change is flagged when the share
+// of the interval's working set that lies outside the accumulated phase
+// signature exceeds the threshold; on a change the phase signature resets
+// to the new interval's, otherwise it absorbs it. The first interval never
+// reports a change.
+func (d *Detector) EndInterval() bool {
+	d.Intervals++
+	changed := false
+	if d.primed {
+		novel, cur := 0, 0
+		for i := range d.bits {
+			novel += popcount(d.bits[i] &^ d.phaseSig[i])
+			cur += popcount(d.bits[i])
+		}
+		if cur > 0 && float64(novel)/float64(cur) > d.threshold {
+			changed = true
+		}
+	}
+	if changed || !d.primed {
+		copy(d.phaseSig, d.bits)
+	} else {
+		for i := range d.bits {
+			d.phaseSig[i] |= d.bits[i]
+		}
+	}
+	for i := range d.bits {
+		d.bits[i] = 0
+	}
+	d.primed = true
+	if changed {
+		d.Changes++
+	}
+	return changed
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,236 @@
+package phase
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func intervalOf(t *testing.T, program string, phase, n int) []trace.Inst {
+	t.Helper()
+	g, err := trace.NewGenerator(program, phase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Interval(n)
+}
+
+func TestBBVNormalised(t *testing.T) {
+	iv := intervalOf(t, "gcc", 0, 5000)
+	v := BBV(iv)
+	if len(v) != BBVDim {
+		t.Fatalf("BBV dim %d, want %d", len(v), BBVDim)
+	}
+	s := 0.0
+	for _, x := range v {
+		if x < 0 {
+			t.Fatalf("negative BBV component %v", x)
+		}
+		s += x
+	}
+	if s < 0.999 || s > 1.001 {
+		t.Fatalf("BBV sums to %v, want 1", s)
+	}
+	if z := BBV(nil); len(z) != BBVDim {
+		t.Fatal("empty BBV wrong length")
+	}
+}
+
+func TestManhattanDistance(t *testing.T) {
+	a := []float64{1, 0, 0}
+	b := []float64{0, 1, 0}
+	if d := ManhattanDistance(a, b); d != 2 {
+		t.Errorf("distance = %v, want 2", d)
+	}
+	if d := ManhattanDistance(a, a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mismatched lengths")
+		}
+	}()
+	ManhattanDistance(a, []float64{1})
+}
+
+func TestSamePhaseIntervalsCloserThanCrossPhase(t *testing.T) {
+	a1 := BBV(intervalOf(t, "mcf", 0, 30000))
+	g, _ := trace.NewGenerator("mcf", 0)
+	g.Interval(30000) // skip ahead within the same phase
+	a2 := BBV(g.Interval(30000))
+	b := BBV(intervalOf(t, "mcf", 5, 30000))
+	within := ManhattanDistance(a1, a2)
+	across := ManhattanDistance(a1, b)
+	if within >= across {
+		t.Errorf("within-phase distance %.4f not below cross-phase %.4f", within, across)
+	}
+}
+
+func TestExtractClusters(t *testing.T) {
+	// Build 30 intervals: 10 each from three very different programs; the
+	// extraction should separate them into distinct phases.
+	var bbvs [][]float64
+	for _, prog := range []string{"mcf", "swim", "crafty"} {
+		g, err := trace.NewGenerator(prog, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			// Intervals must cover the programs' loop structure (tens of
+			// thousands of instructions) for BBVs to be phase-stable,
+			// mirroring SimPoint's large interval sizes.
+			bbvs = append(bbvs, BBV(g.Interval(25000)))
+		}
+	}
+	ex, err := Extract(bbvs, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Phases() < 2 {
+		t.Fatalf("found %d phases, want >= 2", ex.Phases())
+	}
+	// All intervals of one program should mostly share a cluster.
+	for p := 0; p < 3; p++ {
+		counts := map[int]int{}
+		for i := 0; i < 10; i++ {
+			counts[ex.Assignments[p*10+i]]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		if best < 8 {
+			t.Errorf("program %d intervals split badly across clusters: %v", p, counts)
+		}
+	}
+	// Weights sum to 1; representatives valid and in their own cluster.
+	sum := 0.0
+	for c, w := range ex.Weights {
+		sum += w
+		r := ex.Representatives[c]
+		if r < 0 || r >= len(bbvs) {
+			t.Fatalf("representative %d out of range", r)
+		}
+		if ex.Assignments[r] != c {
+			t.Errorf("representative of cluster %d assigned to %d", c, ex.Assignments[r])
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}
+
+func TestExtractValidation(t *testing.T) {
+	if _, err := Extract(nil, 3, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Extract([][]float64{{1}}, 0, 1); err == nil {
+		t.Error("zero clusters accepted")
+	}
+	// k > n clamps.
+	ex, err := Extract([][]float64{{1, 0}, {0, 1}}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Phases() > 2 {
+		t.Errorf("more phases than intervals: %d", ex.Phases())
+	}
+}
+
+func TestDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(0, 0.5); err == nil {
+		t.Error("zero-bit detector accepted")
+	}
+	if _, err := NewDetector(64, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := NewDetector(64, 1.5); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+}
+
+func TestDetectorFiresOnProgramSwitch(t *testing.T) {
+	d, err := NewDetector(1024, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(prog string, phase, intervals, n int) int {
+		g, _ := trace.NewGenerator(prog, phase)
+		fired := 0
+		for i := 0; i < intervals; i++ {
+			for _, in := range g.Interval(n) {
+				d.Observe(in)
+			}
+			if d.EndInterval() {
+				fired++
+			}
+		}
+		return fired
+	}
+	// Steady phase: few firings after the first interval.
+	steady := feed("swim", 0, 6, 40000)
+	// Switch to a totally different program: must fire on the first
+	// interval of the new code.
+	g, _ := trace.NewGenerator("crafty", 0)
+	for _, in := range g.Interval(40000) {
+		d.Observe(in)
+	}
+	if !d.EndInterval() {
+		t.Error("detector missed a program switch")
+	}
+	if steady > 2 {
+		t.Errorf("detector fired %d times within a steady phase", steady)
+	}
+	if d.Intervals != 7 {
+		t.Errorf("interval count %d, want 7", d.Intervals)
+	}
+}
+
+func TestDetectorFirstIntervalNeverFires(t *testing.T) {
+	d, _ := NewDetector(256, 0.5)
+	g, _ := trace.NewGenerator("gzip", 0)
+	for _, in := range g.Interval(1000) {
+		d.Observe(in)
+	}
+	if d.EndInterval() {
+		t.Error("first interval reported a phase change")
+	}
+}
+
+func TestExtractSingleCluster(t *testing.T) {
+	bbvs := [][]float64{{1, 0}, {0.9, 0.1}, {0.95, 0.05}}
+	ex, err := Extract(bbvs, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Phases() != 1 {
+		t.Fatalf("phases = %d, want 1", ex.Phases())
+	}
+	for _, a := range ex.Assignments {
+		if a != 0 {
+			t.Errorf("assignment %d", a)
+		}
+	}
+	if ex.Weights[0] < 0.999 {
+		t.Errorf("weight %v", ex.Weights[0])
+	}
+}
+
+func TestDetectorThresholdOneNeverFires(t *testing.T) {
+	d, err := NewDetector(256, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := []string{"gzip", "mcf", "swim"}
+	for _, prog := range progs {
+		g, _ := trace.NewGenerator(prog, 0)
+		for _, in := range g.Interval(5000) {
+			d.Observe(in)
+		}
+		if d.EndInterval() {
+			t.Fatalf("threshold-1 detector fired on %s", prog)
+		}
+	}
+}

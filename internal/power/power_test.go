@@ -1,0 +1,169 @@
+package power
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestBaselineTimingSane(t *testing.T) {
+	m := New(arch.Baseline())
+	if m.FrequencyHz < 2.5e9 || m.FrequencyHz > 3.1e9 {
+		t.Errorf("baseline frequency = %.2f GHz, want ~2.8", m.FrequencyHz/1e9)
+	}
+	if m.Stages != 20 {
+		t.Errorf("baseline stages = %d, want 20 (240 FO4 / 12 FO4-per-stage)", m.Stages)
+	}
+	if m.MispredictCycles < 8 || m.MispredictCycles > 20 {
+		t.Errorf("baseline mispredict penalty = %d cycles, want 8..20", m.MispredictCycles)
+	}
+	if m.L1DLatency < 1 || m.L1DLatency > 4 {
+		t.Errorf("baseline L1D latency = %d, want 1..4", m.L1DLatency)
+	}
+	if m.L2Latency <= m.L1DLatency {
+		t.Errorf("L2 latency %d not greater than L1D %d", m.L2Latency, m.L1DLatency)
+	}
+	if m.MemLatency <= m.L2Latency {
+		t.Errorf("memory latency %d not greater than L2 %d", m.MemLatency, m.L2Latency)
+	}
+}
+
+func TestDepthControlsFrequencyAndPenalty(t *testing.T) {
+	base := arch.Baseline()
+	deep := New(base.With(arch.DepthFO4, 9))     // deepest pipeline, fastest clock
+	shallow := New(base.With(arch.DepthFO4, 36)) // shallowest, slowest
+	if deep.FrequencyHz <= shallow.FrequencyHz {
+		t.Errorf("deep pipeline frequency %.2e not above shallow %.2e", deep.FrequencyHz, shallow.FrequencyHz)
+	}
+	if deep.Stages <= shallow.Stages {
+		t.Errorf("deep stages %d not above shallow %d", deep.Stages, shallow.Stages)
+	}
+	if deep.MispredictCycles <= shallow.MispredictCycles {
+		t.Errorf("deep mispredict %d not above shallow %d", deep.MispredictCycles, shallow.MispredictCycles)
+	}
+}
+
+func TestEnergyMonotoneInSize(t *testing.T) {
+	base := arch.Baseline()
+	cases := []struct {
+		p      arch.Param
+		lo, hi int
+		field  func(*Model) float64
+	}{
+		{arch.ROBSize, 32, 160, func(m *Model) float64 { return m.ROBAccess }},
+		{arch.IQSize, 8, 80, func(m *Model) float64 { return m.IQIssue }},
+		{arch.LSQSize, 8, 80, func(m *Model) float64 { return m.LSQAccess }},
+		{arch.RFSize, 40, 160, func(m *Model) float64 { return m.RFRead }},
+		{arch.RFReadPorts, 2, 16, func(m *Model) float64 { return m.RFRead }},
+		{arch.RFWritePorts, 1, 8, func(m *Model) float64 { return m.RFWrite }},
+		{arch.GshareSize, 1024, 32768, func(m *Model) float64 { return m.BpredLookup }},
+		{arch.ICacheKB, 8, 128, func(m *Model) float64 { return m.ICacheAccess }},
+		{arch.DCacheKB, 8, 128, func(m *Model) float64 { return m.DCacheAccess }},
+		{arch.L2CacheKB, 256, 4096, func(m *Model) float64 { return m.L2Access }},
+	}
+	for _, c := range cases {
+		small := New(base.With(c.p, c.lo))
+		big := New(base.With(c.p, c.hi))
+		if !(c.field(big) > c.field(small)) {
+			t.Errorf("%s: energy not monotone: small=%.3f big=%.3f", c.p, c.field(small), c.field(big))
+		}
+	}
+}
+
+func TestLeakageMonotoneInTotalCapacity(t *testing.T) {
+	min := New(arch.MinConfig())
+	max := New(arch.Profiling())
+	if !(max.TotalLeakage > min.TotalLeakage) {
+		t.Errorf("max-config leakage %.3f W not above min-config %.3f W", max.TotalLeakage, min.TotalLeakage)
+	}
+}
+
+func TestBaselinePowerPlausible(t *testing.T) {
+	// Simulate a fake run: width*0.7 useful ops per cycle for 1M cycles on
+	// the baseline, with typical per-instruction structure activity, and
+	// check the implied average power is in the tens of watts —
+	// Wattch-class for a 90nm high-performance core.
+	m := New(arch.Baseline())
+	var acc Account
+	const cycles = 1_000_000
+	ipc := 0.7 * float64(m.Cfg[arch.Width])
+	insns := ipc * cycles
+	acc.Add(StructClock, (m.ClockPerCyc+m.IdlePerCyc)*cycles)
+	acc.Add(StructROB, 2*m.ROBAccess*insns)
+	acc.Add(StructIQ, (m.IQInsert+m.IQIssue+2*m.IQWakeup)*insns)
+	acc.Add(StructLSQ, m.LSQAccess*insns*0.35)
+	acc.Add(StructRF, (1.6*m.RFRead+0.8*m.RFWrite)*insns)
+	acc.Add(StructRename, m.RenameOp*insns)
+	acc.Add(StructBpred, (m.BpredLookup+m.BTBLookup)*insns*0.2)
+	acc.Add(StructICache, m.ICacheAccess*cycles)
+	acc.Add(StructDCache, m.DCacheAccess*insns*0.3)
+	acc.Add(StructL2, m.L2Access*insns*0.01)
+	acc.Add(StructFU, m.IntOp*insns)
+	sum := m.Summarize(&acc, cycles)
+	if sum.AvgPowerW < 8 || sum.AvgPowerW > 150 {
+		t.Errorf("baseline synthetic power = %.1f W, want 8..150", sum.AvgPowerW)
+	}
+	if sum.TotalJ <= 0 || sum.DynamicJ <= 0 || sum.LeakageJ <= 0 {
+		t.Errorf("energy components must be positive: %+v", sum)
+	}
+}
+
+func TestSummarizeAdds(t *testing.T) {
+	m := New(arch.Baseline())
+	var acc Account
+	acc.Add(StructROB, 1e12) // 1 J dynamic
+	sum := m.Summarize(&acc, 1000)
+	if sum.DynamicJ < 0.999 || sum.DynamicJ > 1.001 {
+		t.Errorf("dynamic J = %v, want ~1", sum.DynamicJ)
+	}
+	wantLeak := m.TotalLeakage * 1000 * m.PeriodPs * 1e-12
+	if diff := sum.LeakageJ - wantLeak; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("leakage J = %v, want %v", sum.LeakageJ, wantLeak)
+	}
+	if got := sum.TotalJ; got != sum.DynamicJ+sum.LeakageJ {
+		t.Errorf("total %v != dynamic %v + leakage %v", got, sum.DynamicJ, sum.LeakageJ)
+	}
+}
+
+func TestZeroCycleSummary(t *testing.T) {
+	m := New(arch.Baseline())
+	var acc Account
+	sum := m.Summarize(&acc, 0)
+	if sum.AvgPowerW != 0 || sum.TotalJ != 0 {
+		t.Errorf("zero-cycle summary should be zero: %+v", sum)
+	}
+}
+
+func TestStructureString(t *testing.T) {
+	if StructROB.String() != "ROB" || StructClock.String() != "Clock" {
+		t.Errorf("unexpected structure names")
+	}
+	if got := Structure(-1).String(); got != "Structure(-1)" {
+		t.Errorf("out-of-range structure string = %q", got)
+	}
+}
+
+// Property: every energy field and latency is strictly positive for every
+// valid configuration.
+func TestQuickAllQuantitiesPositive(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		m := New(arch.Random(rng))
+		ok := m.FrequencyHz > 0 && m.Stages >= minStages &&
+			m.MispredictCycles > 0 &&
+			m.L1ILatency >= 1 && m.L1DLatency >= 1 &&
+			m.L2Latency >= 1 && m.MemLatency > m.L2Latency &&
+			m.ROBAccess > 0 && m.IQInsert > 0 && m.IQWakeup > 0 &&
+			m.IQIssue > 0 && m.LSQAccess > 0 && m.RFRead > 0 &&
+			m.RFWrite > 0 && m.BpredLookup > 0 && m.BTBLookup > 0 &&
+			m.ICacheAccess > 0 && m.DCacheAccess > 0 && m.L2Access > 0 &&
+			m.MemAccess > 0 && m.IntOp > 0 && m.FpOp > 0 && m.MulOp > 0 &&
+			m.ClockPerCyc > 0 && m.IdlePerCyc > 0 && m.TotalLeakage > 0
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,19 @@
+package render_test
+
+import (
+	"fmt"
+
+	"repro/internal/render"
+)
+
+// ExampleSparkline renders a series as block glyphs.
+func ExampleSparkline() {
+	fmt.Println(render.Sparkline([]float64{1, 2, 4, 8, 4, 2, 1}))
+	// Output: ▁▂▄█▄▂▁
+}
+
+// ExampleViolinStrip renders a distribution summary.
+func ExampleViolinStrip() {
+	fmt.Printf("[%s]\n", render.ViolinStrip(0, 0.25, 0.5, 0.75, 1.0, 21))
+	// Output: [-----#####o#####-----]
+}

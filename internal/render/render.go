@@ -1,0 +1,143 @@
+// Package render draws the report's figures as text: horizontal bar
+// charts (Figures 4 and 6), sparkline series (Figure 1) and violin strips
+// (Figure 8). Pure functions from data to strings, used by cmd/report so
+// the regenerated figures read like figures rather than tables.
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value in a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to width characters, with the
+// numeric value on the right. A reference line (e.g. 1.0 for ratio charts)
+// is marked with '|' when it falls inside the plotted range.
+func BarChart(title string, bars []Bar, width int, reference float64) string {
+	if width < 8 {
+		width = 8
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(bars) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, bar := range bars {
+		if bar.Value > maxVal {
+			maxVal = bar.Value
+		}
+		if len(bar.Label) > maxLabel {
+			maxLabel = len(bar.Label)
+		}
+	}
+	if reference > maxVal {
+		maxVal = reference
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	refCol := -1
+	if reference > 0 && reference <= maxVal {
+		refCol = int(reference / maxVal * float64(width))
+		if refCol >= width {
+			refCol = width - 1
+		}
+	}
+	for _, bar := range bars {
+		n := int(math.Round(bar.Value / maxVal * float64(width)))
+		if n > width {
+			n = width
+		}
+		if n < 0 {
+			n = 0
+		}
+		row := make([]byte, width)
+		for i := range row {
+			switch {
+			case i < n:
+				row[i] = '#'
+			case i == refCol:
+				row[i] = '|'
+			default:
+				row[i] = ' '
+			}
+		}
+		fmt.Fprintf(&b, "  %-*s %s %6.2f\n", maxLabel, bar.Label, string(row), bar.Value)
+	}
+	return b.String()
+}
+
+// sparkGlyphs are the eight levels of a sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a numeric series as one line of block glyphs scaled
+// between the series' min and max. Empty input yields an empty string.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		level := 0
+		if hi > lo {
+			level = int((x - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+		}
+		if level < 0 {
+			level = 0
+		}
+		if level >= len(sparkGlyphs) {
+			level = len(sparkGlyphs) - 1
+		}
+		b.WriteRune(sparkGlyphs[level])
+	}
+	return b.String()
+}
+
+// ViolinStrip renders a [0,1]-normalised distribution summary as a strip:
+// min/max whiskers, an interquartile box and the median marker, like one
+// violin of the paper's Figure 8 turned on its side.
+//
+//	value  ··----[####o####]-----··
+func ViolinStrip(min, q1, median, q3, max float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	col := func(v float64) int {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		c := int(v * float64(width-1))
+		return c
+	}
+	row := make([]byte, width)
+	for i := range row {
+		row[i] = ' '
+	}
+	for i := col(min); i <= col(max) && i < width; i++ {
+		row[i] = '-'
+	}
+	for i := col(q1); i <= col(q3) && i < width; i++ {
+		row[i] = '#'
+	}
+	if m := col(median); m < width {
+		row[m] = 'o'
+	}
+	return string(row)
+}

@@ -1,0 +1,88 @@
+package render
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestBarChartBasics(t *testing.T) {
+	out := BarChart("title", []Bar{{"aa", 2}, {"b", 1}}, 20, 1)
+	if !strings.HasPrefix(out, "title\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3", len(lines))
+	}
+	if !strings.Contains(lines[1], "####") {
+		t.Errorf("no bar drawn: %q", lines[1])
+	}
+	// The longer value's bar must be longer.
+	if strings.Count(lines[1], "#") <= strings.Count(lines[2], "#") {
+		t.Errorf("bar lengths not ordered: %q vs %q", lines[1], lines[2])
+	}
+	// Reference line appears in the shorter bar's row.
+	if !strings.Contains(lines[2], "|") {
+		t.Errorf("reference line missing: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "2.00") {
+		t.Errorf("value missing: %q", lines[1])
+	}
+}
+
+func TestBarChartEdgeCases(t *testing.T) {
+	if out := BarChart("x", nil, 20, 0); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart: %q", out)
+	}
+	// Zero values must not panic or draw negative bars.
+	out := BarChart("x", []Bar{{"z", 0}}, 4, 0)
+	if strings.Contains(out, "#") {
+		t.Errorf("zero value drew a bar: %q", out)
+	}
+	// Tiny width clamps.
+	_ = BarChart("x", []Bar{{"z", 5}}, 1, 0)
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if utf8.RuneCountInString(s) != 4 {
+		t.Fatalf("sparkline length %d, want 4", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("extremes wrong: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty input should render empty")
+	}
+	// Constant series renders at the lowest level without dividing by 0.
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series rendered %q", flat)
+		}
+	}
+}
+
+func TestViolinStrip(t *testing.T) {
+	s := ViolinStrip(0.1, 0.3, 0.5, 0.7, 0.9, 40)
+	if len(s) != 40 {
+		t.Fatalf("strip length %d", len(s))
+	}
+	if !strings.Contains(s, "o") {
+		t.Errorf("median marker missing: %q", s)
+	}
+	if !strings.Contains(s, "#") || !strings.Contains(s, "-") {
+		t.Errorf("box or whiskers missing: %q", s)
+	}
+	oIdx := strings.Index(s, "o")
+	firstHash := strings.Index(s, "#")
+	lastHash := strings.LastIndex(s, "#")
+	if oIdx < firstHash || oIdx > lastHash {
+		t.Errorf("median outside the box: %q", s)
+	}
+	// Clamped inputs must not panic.
+	_ = ViolinStrip(-1, 0, 0.5, 1, 2, 10)
+	_ = ViolinStrip(0, 0, 0, 0, 0, 5)
+}

@@ -1,0 +1,357 @@
+// Package softmax implements the paper's predictive model: a multinomial
+// logistic regression (soft-max) classifier per microarchitectural
+// parameter, trained off-line by regularised maximum likelihood with
+// conjugate-gradient optimisation (Section IV).
+//
+// The model is deliberately generic — D input features, K classes — so the
+// same code trains all fourteen per-parameter models. Prediction follows
+// the paper's equation (8)-(9): a hard argmax over the linear scores,
+// avoiding exponentiation at runtime, which is what makes the hardware
+// implementation (a multiclass perceptron, §VIII) cheap.
+package softmax
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Example is one training observation: feature vector X (length D) and the
+// index Y of a "good" class. Phases with several good configurations
+// contribute several examples, implementing the paper's Ñ over
+// within-5%-of-best configurations.
+type Example struct {
+	X []float64
+	Y int
+}
+
+// Options control training.
+type Options struct {
+	// Lambda is the weight-norm regularisation strength; the paper uses
+	// 0.5.
+	Lambda float64
+	// InitWeight is the deterministic initial value of every weight; the
+	// paper uses 1.
+	InitWeight float64
+	// MaxIter bounds conjugate-gradient iterations.
+	MaxIter int
+	// Tol stops training when the gradient norm falls below it.
+	Tol float64
+}
+
+// DefaultOptions returns the paper's training settings.
+func DefaultOptions() Options {
+	return Options{Lambda: 0.5, InitWeight: 1, MaxIter: 200, Tol: 1e-5}
+}
+
+// Model is a trained soft-max classifier: a D x K weight matrix, stored
+// row-major by feature (W[i*K+k] is feature i's weight for class k).
+type Model struct {
+	D, K int
+	W    []float64
+}
+
+// NewModel returns an untrained model with all weights set to init.
+func NewModel(d, k int, init float64) (*Model, error) {
+	if d <= 0 || k <= 0 {
+		return nil, fmt.Errorf("softmax: invalid shape D=%d K=%d", d, k)
+	}
+	m := &Model{D: d, K: k, W: make([]float64, d*k)}
+	for i := range m.W {
+		m.W[i] = init
+	}
+	return m, nil
+}
+
+// Scores computes the K linear scores w_k . x into out (allocated if nil).
+func (m *Model) Scores(x []float64, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, m.K)
+	} else {
+		for k := range out {
+			out[k] = 0
+		}
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.W[i*m.K : i*m.K+m.K]
+		for k, w := range row {
+			out[k] += w * xi
+		}
+	}
+	return out
+}
+
+// Predict returns the argmax class for x (paper eq. 8-9: the hard decision
+// needs no exponentiation).
+func (m *Model) Predict(x []float64) int {
+	if len(x) != m.D {
+		panic(fmt.Sprintf("softmax: feature length %d, model expects %d", len(x), m.D))
+	}
+	s := m.Scores(x, nil)
+	best, bi := math.Inf(-1), 0
+	for k, v := range s {
+		if v > best {
+			best, bi = v, k
+		}
+	}
+	return bi
+}
+
+// Probabilities returns the full soft-max distribution for x.
+func (m *Model) Probabilities(x []float64) []float64 {
+	s := m.Scores(x, nil)
+	maxS := math.Inf(-1)
+	for _, v := range s {
+		if v > maxS {
+			maxS = v
+		}
+	}
+	total := 0.0
+	for k, v := range s {
+		s[k] = math.Exp(v - maxS)
+		total += s[k]
+	}
+	for k := range s {
+		s[k] /= total
+	}
+	return s
+}
+
+// Train fits a model to the examples by maximising the regularised data
+// log-likelihood (paper eq. 6-7) with Polak-Ribiere conjugate gradients
+// and a backtracking line search. Training is deterministic.
+func Train(d, k int, examples []Example, opts Options) (*Model, error) {
+	if len(examples) == 0 {
+		return nil, errors.New("softmax: no training examples")
+	}
+	for i, ex := range examples {
+		if len(ex.X) != d {
+			return nil, fmt.Errorf("softmax: example %d has %d features, want %d", i, len(ex.X), d)
+		}
+		if ex.Y < 0 || ex.Y >= k {
+			return nil, fmt.Errorf("softmax: example %d label %d out of range [0,%d)", i, ex.Y, k)
+		}
+	}
+	m, err := NewModel(d, k, opts.InitWeight)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 200
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-5
+	}
+
+	n := d * k
+	grad := make([]float64, n)
+	prevGrad := make([]float64, n)
+	dir := make([]float64, n)
+	trial := make([]float64, n)
+	scores := make([]float64, k)
+
+	f := objective(m, examples, opts.Lambda, grad, scores)
+	for i := range dir {
+		dir[i] = -grad[i]
+	}
+	alpha := 1.0 / (1 + float64(len(examples)))
+
+	for it := 0; it < opts.MaxIter; it++ {
+		gnorm := norm(grad)
+		if gnorm < opts.Tol {
+			break
+		}
+		// Ensure a descent direction; restart on failure.
+		if dot(grad, dir) >= 0 {
+			for i := range dir {
+				dir[i] = -grad[i]
+			}
+		}
+		// Backtracking line search (Armijo).
+		slope := dot(grad, dir)
+		step := alpha * 4
+		var fNew float64
+		accepted := false
+		for ls := 0; ls < 40; ls++ {
+			for i := range trial {
+				trial[i] = m.W[i] + step*dir[i]
+			}
+			fNew = objectiveAt(trial, m, examples, opts.Lambda, scores)
+			if fNew <= f+1e-4*step*slope {
+				accepted = true
+				break
+			}
+			step *= 0.5
+		}
+		if !accepted {
+			break // no further progress possible along any tried step
+		}
+		alpha = step
+		copy(m.W, trial)
+		copy(prevGrad, grad)
+		f = objective(m, examples, opts.Lambda, grad, scores)
+
+		// Polak-Ribiere beta with automatic restart.
+		num := 0.0
+		for i := range grad {
+			num += grad[i] * (grad[i] - prevGrad[i])
+		}
+		den := dot(prevGrad, prevGrad)
+		beta := 0.0
+		if den > 0 {
+			beta = num / den
+		}
+		if beta < 0 {
+			beta = 0
+		}
+		for i := range dir {
+			dir[i] = -grad[i] + beta*dir[i]
+		}
+	}
+	return m, nil
+}
+
+// objective computes f = -L + lambda*||W||^2 and the gradient into grad.
+func objective(m *Model, examples []Example, lambda float64, grad, scores []float64) float64 {
+	for i := range grad {
+		grad[i] = 0
+	}
+	f := 0.0
+	for _, ex := range examples {
+		m.Scores(ex.X, scores)
+		maxS := math.Inf(-1)
+		for _, v := range scores {
+			if v > maxS {
+				maxS = v
+			}
+		}
+		logZ := 0.0
+		for _, v := range scores {
+			logZ += math.Exp(v - maxS)
+		}
+		logZ = math.Log(logZ) + maxS
+		f -= scores[ex.Y] - logZ
+		// Gradient of -log-likelihood: (sigma_k - delta_k) * x.
+		for k := range scores {
+			p := math.Exp(scores[k] - logZ)
+			coeff := p
+			if k == ex.Y {
+				coeff -= 1
+			}
+			if coeff == 0 {
+				continue
+			}
+			for i, xi := range ex.X {
+				if xi != 0 {
+					grad[i*m.K+k] += coeff * xi
+				}
+			}
+		}
+	}
+	for i, w := range m.W {
+		f += lambda * w * w
+		grad[i] += 2 * lambda * w
+	}
+	return f
+}
+
+// objectiveAt evaluates the objective at weights w without touching m.W
+// and without computing the gradient.
+func objectiveAt(w []float64, m *Model, examples []Example, lambda float64, scores []float64) float64 {
+	saved := m.W
+	m.W = w
+	f := 0.0
+	for _, ex := range examples {
+		m.Scores(ex.X, scores)
+		maxS := math.Inf(-1)
+		for _, v := range scores {
+			if v > maxS {
+				maxS = v
+			}
+		}
+		logZ := 0.0
+		for _, v := range scores {
+			logZ += math.Exp(v - maxS)
+		}
+		logZ = math.Log(logZ) + maxS
+		f -= scores[ex.Y] - logZ
+	}
+	for _, wi := range w {
+		f += lambda * wi * wi
+	}
+	m.W = saved
+	return f
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+// Quantized is the 8-bit fixed-point form of a model, matching the
+// perceptron-style hardware implementation the paper sketches in §VIII
+// (signed 8-bit weights, ~2KB storage for the basic counter set).
+type Quantized struct {
+	D, K  int
+	Scale float64 // weight = Scale * int8 value
+	W     []int8
+}
+
+// Quantize converts the model to 8-bit weights with a single shared scale.
+func (m *Model) Quantize() *Quantized {
+	maxAbs := 0.0
+	for _, w := range m.W {
+		if a := math.Abs(w); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	q := &Quantized{D: m.D, K: m.K, W: make([]int8, len(m.W))}
+	if maxAbs == 0 {
+		q.Scale = 1
+		return q
+	}
+	q.Scale = maxAbs / 127
+	for i, w := range m.W {
+		v := math.Round(w / q.Scale)
+		if v > 127 {
+			v = 127
+		}
+		if v < -127 {
+			v = -127
+		}
+		q.W[i] = int8(v)
+	}
+	return q
+}
+
+// Predict returns the argmax class using the quantised weights.
+func (q *Quantized) Predict(x []float64) int {
+	scores := make([]float64, q.K)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := q.W[i*q.K : i*q.K+q.K]
+		for k, w := range row {
+			scores[k] += float64(w) * xi
+		}
+	}
+	best, bi := math.Inf(-1), 0
+	for k, v := range scores {
+		if v > best {
+			best, bi = v, k
+		}
+	}
+	return bi
+}
+
+// StorageBytes returns the storage footprint of the quantised weights.
+func (q *Quantized) StorageBytes() int { return len(q.W) }

@@ -1,0 +1,260 @@
+package softmax
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// separable builds a linearly separable 3-class problem in 4 dimensions
+// (3 indicator features + bias).
+func separable(n int, rng *rand.Rand) []Example {
+	exs := make([]Example, n)
+	for i := range exs {
+		y := rng.IntN(3)
+		x := []float64{0, 0, 0, 1}
+		x[y] = 1 + 0.1*rng.Float64()
+		exs[i] = Example{X: x, Y: y}
+	}
+	return exs
+}
+
+func TestTrainSeparable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	exs := separable(300, rng)
+	m, err := Train(4, 3, exs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, ex := range exs {
+		if m.Predict(ex.X) == ex.Y {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(exs)); acc < 0.98 {
+		t.Errorf("training accuracy %.3f on separable data, want >= 0.98", acc)
+	}
+}
+
+func TestGeneralizes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	m, err := Train(4, 3, separable(300, rng), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := separable(200, rand.New(rand.NewPCG(99, 99)))
+	correct := 0
+	for _, ex := range test {
+		if m.Predict(ex.X) == ex.Y {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.98 {
+		t.Errorf("held-out accuracy %.3f, want >= 0.98", acc)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	rng1 := rand.New(rand.NewPCG(3, 3))
+	rng2 := rand.New(rand.NewPCG(3, 3))
+	m1, _ := Train(4, 3, separable(100, rng1), DefaultOptions())
+	m2, _ := Train(4, 3, separable(100, rng2), DefaultOptions())
+	for i := range m1.W {
+		if m1.W[i] != m2.W[i] {
+			t.Fatalf("weight %d differs: %v vs %v", i, m1.W[i], m2.W[i])
+		}
+	}
+}
+
+func TestRegularizationShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	exs := separable(200, rng)
+	weak, _ := Train(4, 3, exs, Options{Lambda: 0.01, InitWeight: 1, MaxIter: 200, Tol: 1e-6})
+	strong, _ := Train(4, 3, exs, Options{Lambda: 10, InitWeight: 1, MaxIter: 200, Tol: 1e-6})
+	nw, ns := 0.0, 0.0
+	for i := range weak.W {
+		nw += weak.W[i] * weak.W[i]
+		ns += strong.W[i] * strong.W[i]
+	}
+	if ns >= nw {
+		t.Errorf("strong-lambda norm %.3f not below weak-lambda norm %.3f", ns, nw)
+	}
+}
+
+func TestMultiLabelExamples(t *testing.T) {
+	// A phase with two good classes should get high probability on both:
+	// same X appears with Y=0 and Y=1, never 2.
+	var exs []Example
+	for i := 0; i < 100; i++ {
+		x := []float64{1, 0.5, 1}
+		exs = append(exs, Example{X: x, Y: 0}, Example{X: x, Y: 1})
+	}
+	m, err := Train(3, 3, exs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Probabilities([]float64{1, 0.5, 1})
+	if p[2] > p[0] || p[2] > p[1] {
+		t.Errorf("never-good class has top probability: %v", p)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Train(3, 2, nil, DefaultOptions()); err == nil {
+		t.Error("no examples accepted")
+	}
+	if _, err := Train(3, 2, []Example{{X: []float64{1}, Y: 0}}, DefaultOptions()); err == nil {
+		t.Error("wrong feature length accepted")
+	}
+	if _, err := Train(3, 2, []Example{{X: []float64{1, 2, 3}, Y: 5}}, DefaultOptions()); err == nil {
+		t.Error("label out of range accepted")
+	}
+	if _, err := NewModel(0, 3, 1); err == nil {
+		t.Error("zero-dim model accepted")
+	}
+}
+
+func TestPredictPanicsOnBadLength(t *testing.T) {
+	m, _ := NewModel(3, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wrong feature length")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	m, _ := NewModel(4, 5, 0.3)
+	p := m.Probabilities([]float64{0.2, -1, 3, 0.5})
+	s := 0.0
+	for _, v := range p {
+		if v < 0 {
+			t.Errorf("negative probability %v", v)
+		}
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", s)
+	}
+}
+
+func TestProbabilitiesNumericallyStable(t *testing.T) {
+	m, _ := NewModel(2, 3, 0)
+	// Huge scores must not overflow.
+	m.W[0], m.W[1], m.W[2] = 1000, -1000, 0
+	p := m.Probabilities([]float64{1, 0})
+	if math.IsNaN(p[0]) || math.IsInf(p[0], 0) {
+		t.Errorf("unstable probabilities: %v", p)
+	}
+	if p[0] < 0.999 {
+		t.Errorf("dominant class probability %v, want ~1", p[0])
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	exs := separable(300, rng)
+	m, _ := Train(4, 3, exs, DefaultOptions())
+	q := m.Quantize()
+	if q.StorageBytes() != 4*3 {
+		t.Errorf("storage %d bytes, want 12", q.StorageBytes())
+	}
+	agree := 0
+	for _, ex := range exs {
+		if q.Predict(ex.X) == m.Predict(ex.X) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(exs)); frac < 0.95 {
+		t.Errorf("8-bit model agrees with float on only %.3f of examples", frac)
+	}
+}
+
+func TestQuantizeZeroModel(t *testing.T) {
+	m, _ := NewModel(2, 2, 0)
+	q := m.Quantize()
+	if q.Scale != 1 {
+		t.Errorf("zero-model scale %v, want 1", q.Scale)
+	}
+	if got := q.Predict([]float64{1, 1}); got != 0 {
+		t.Errorf("zero model predicts %d, want 0 (ties break low)", got)
+	}
+}
+
+// Property: Predict always returns a class in range, for arbitrary finite
+// inputs.
+func TestQuickPredictInRange(t *testing.T) {
+	m, _ := NewModel(3, 4, 0.5)
+	f := func(a, b, c float64) bool {
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		y := m.Predict([]float64{a, b, c})
+		return y >= 0 && y < 4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: training on K=1 trivially predicts class 0.
+func TestSingleClass(t *testing.T) {
+	exs := []Example{{X: []float64{1, 2}, Y: 0}, {X: []float64{0, 1}, Y: 0}}
+	m, err := Train(2, 1, exs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict([]float64{3, 4}) != 0 {
+		t.Error("single-class model failed")
+	}
+}
+
+// Property: Predict agrees with the argmax of Probabilities.
+func TestQuickPredictMatchesProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	m, _ := NewModel(5, 4, 0)
+	for i := range m.W {
+		m.W[i] = rng.Float64()*4 - 2
+	}
+	f := func(a, b, c, d, e float64) bool {
+		for _, v := range []float64{a, b, c, d, e} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		x := []float64{a, b, c, d, e}
+		p := m.Probabilities(x)
+		best, bi := -1.0, 0
+		for k, v := range p {
+			if v > best {
+				best, bi = v, k
+			}
+		}
+		return m.Predict(x) == bi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainingImprovesLikelihood(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	exs := separable(200, rng)
+	init, _ := NewModel(4, 3, 1)
+	trained, _ := Train(4, 3, exs, DefaultOptions())
+	ll := func(m *Model) float64 {
+		s := 0.0
+		for _, ex := range exs {
+			s += math.Log(m.Probabilities(ex.X)[ex.Y] + 1e-300)
+		}
+		return s
+	}
+	if ll(trained) <= ll(init) {
+		t.Errorf("training did not improve log-likelihood: %.2f vs %.2f", ll(trained), ll(init))
+	}
+}

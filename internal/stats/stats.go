@@ -1,0 +1,335 @@
+// Package stats provides the small statistical substrate shared by the
+// simulator and the experiment harness: fixed-bin and logarithmic
+// histograms (the paper's "temporal histograms"), empirical CDFs,
+// quantiles, violin-plot summaries (Figure 8) and k-means clustering
+// (SimPoint-style phase extraction).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-bin counting histogram. Bin semantics (linear
+// occupancy bins, log2 distance bins, ...) are the caller's; the histogram
+// just counts and normalises.
+type Histogram struct {
+	Counts []uint64
+	Total  uint64
+}
+
+// NewHistogram returns a histogram with n bins.
+func NewHistogram(n int) *Histogram {
+	return &Histogram{Counts: make([]uint64, n)}
+}
+
+// Add increments bin i (clamped into range) by 1.
+func (h *Histogram) Add(i int) { h.AddN(i, 1) }
+
+// AddN increments bin i (clamped into range) by n.
+func (h *Histogram) AddN(i int, n uint64) {
+	if len(h.Counts) == 0 {
+		return
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i] += n
+	h.Total += n
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.Counts) }
+
+// Normalized returns the histogram as fractions summing to 1 (all zeros if
+// empty). This is the feature encoding fed to the model.
+func (h *Histogram) Normalized() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.Total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.Total)
+	}
+	return out
+}
+
+// Mean returns the count-weighted mean bin index.
+func (h *Histogram) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, c := range h.Counts {
+		s += float64(i) * float64(c)
+	}
+	return s / float64(h.Total)
+}
+
+// PercentileBin returns the smallest bin index at which the cumulative
+// fraction reaches p (0 < p <= 1).
+func (h *Histogram) PercentileBin(p float64) int {
+	if h.Total == 0 {
+		return 0
+	}
+	target := p * float64(h.Total)
+	cum := 0.0
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= target {
+			return i
+		}
+	}
+	return len(h.Counts) - 1
+}
+
+// Reset zeroes all bins.
+func (h *Histogram) Reset() {
+	for i := range h.Counts {
+		h.Counts[i] = 0
+	}
+	h.Total = 0
+}
+
+// Log2Bin returns the logarithmic bin index for a distance value:
+// 0 for d<=1, otherwise floor(log2(d))+1, clamped to maxBin.
+func Log2Bin(d uint64, maxBin int) int {
+	if d <= 1 {
+		return 0
+	}
+	b := 64 - leadingZeros(d) // == floor(log2(d)) + 1
+	if b > maxBin {
+		return maxBin
+	}
+	return b
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+		if n == 64 {
+			break
+		}
+	}
+	return n
+}
+
+// ECDF returns the empirical CDF evaluated at each of the supplied
+// thresholds: out[i] = fraction of xs >= thresholds[i] (the paper's
+// Figure 7 accumulates from the right).
+func ECDF(xs, thresholds []float64) []float64 {
+	out := make([]float64, len(thresholds))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, t := range thresholds {
+		// count of xs >= t
+		idx := sort.SearchFloat64s(sorted, t)
+		out[i] = float64(len(sorted)-idx) / float64(len(sorted))
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs by linear interpolation.
+// It returns NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of strictly positive xs (0 if empty or
+// any x <= 0).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Violin summarises a distribution the way the paper's Figure 8 violins
+// are read: median, quartiles, extremes and mean.
+type Violin struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// Summarize computes the violin summary of xs.
+func Summarize(xs []float64) Violin {
+	if len(xs) == 0 {
+		return Violin{}
+	}
+	return Violin{
+		Min:    Quantile(xs, 0),
+		Q1:     Quantile(xs, 0.25),
+		Median: Quantile(xs, 0.5),
+		Q3:     Quantile(xs, 0.75),
+		Max:    Quantile(xs, 1),
+		Mean:   Mean(xs),
+		N:      len(xs),
+	}
+}
+
+// String renders the violin compactly.
+func (v Violin) String() string {
+	return fmt.Sprintf("n=%d min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f mean=%.3f",
+		v.N, v.Min, v.Q1, v.Median, v.Q3, v.Max, v.Mean)
+}
+
+// KMeans clusters the rows of points into k clusters using Lloyd's
+// algorithm with deterministic k-means++-style seeding driven by the given
+// seed. It returns the assignment of each point and the centroids.
+// It panics if k <= 0; if k >= len(points) each point gets its own cluster.
+func KMeans(points [][]float64, k int, seed uint64, iters int) (assign []int, centroids [][]float64) {
+	n := len(points)
+	if k <= 0 {
+		panic("stats: KMeans k must be positive")
+	}
+	assign = make([]int, n)
+	if n == 0 {
+		return assign, nil
+	}
+	if k >= n {
+		centroids = make([][]float64, n)
+		for i := range points {
+			assign[i] = i
+			centroids[i] = append([]float64(nil), points[i]...)
+		}
+		return assign, centroids
+	}
+	d := len(points[0])
+
+	// Deterministic k-means++ seeding with an xorshift generator.
+	state := seed | 1
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	centroids = make([][]float64, 0, k)
+	first := int(next() % uint64(n))
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	dist2 := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d2 := sqDist(p, c); d2 < best {
+					best = d2
+				}
+			}
+			dist2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with centroids; duplicate one.
+			centroids = append(centroids, append([]float64(nil), points[0]...))
+			continue
+		}
+		x := float64(next()%1e9) / 1e9 * total
+		pick := 0
+		for i, w := range dist2 {
+			x -= w
+			if x <= 0 {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+
+	counts := make([]int, k)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range points {
+			best, bi := math.Inf(1), 0
+			for j, c := range centroids {
+				if d2 := sqDist(p, c); d2 < best {
+					best, bi = d2, j
+				}
+			}
+			if assign[i] != bi {
+				assign[i] = bi
+				changed = true
+			}
+		}
+		for j := range centroids {
+			for x := range centroids[j] {
+				centroids[j][x] = 0
+			}
+			counts[j] = 0
+		}
+		for i, p := range points {
+			j := assign[i]
+			counts[j]++
+			for x := 0; x < d; x++ {
+				centroids[j][x] += p[x]
+			}
+		}
+		for j := range centroids {
+			if counts[j] == 0 {
+				continue // keep the stale centroid; empty cluster
+			}
+			for x := range centroids[j] {
+				centroids[j][x] /= float64(counts[j])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return assign, centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

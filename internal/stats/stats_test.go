@@ -1,0 +1,335 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(0)
+	h.Add(1)
+	h.Add(1)
+	h.AddN(3, 4)
+	if h.Total != 7 {
+		t.Fatalf("total = %d, want 7", h.Total)
+	}
+	n := h.Normalized()
+	want := []float64{1.0 / 7, 2.0 / 7, 0, 4.0 / 7}
+	for i := range want {
+		if math.Abs(n[i]-want[i]) > 1e-12 {
+			t.Errorf("normalized[%d] = %v, want %v", i, n[i], want[i])
+		}
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(3)
+	h.Add(-5)
+	h.Add(99)
+	if h.Counts[0] != 1 || h.Counts[2] != 1 {
+		t.Fatalf("clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistogramEmptyAndReset(t *testing.T) {
+	h := NewHistogram(3)
+	for _, v := range h.Normalized() {
+		if v != 0 {
+			t.Fatal("empty histogram normalizes nonzero")
+		}
+	}
+	if h.Mean() != 0 || h.PercentileBin(0.9) != 0 {
+		t.Fatal("empty histogram stats nonzero")
+	}
+	h.Add(2)
+	h.Reset()
+	if h.Total != 0 || h.Counts[2] != 0 {
+		t.Fatal("reset incomplete")
+	}
+	// Zero-bin histogram must not panic.
+	z := NewHistogram(0)
+	z.Add(1)
+	if z.Total != 0 {
+		t.Fatal("zero-bin histogram counted")
+	}
+}
+
+func TestHistogramMeanAndPercentile(t *testing.T) {
+	h := NewHistogram(10)
+	h.AddN(2, 50)
+	h.AddN(8, 50)
+	if got := h.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	if got := h.PercentileBin(0.5); got != 2 {
+		t.Errorf("p50 bin = %d, want 2", got)
+	}
+	if got := h.PercentileBin(0.9); got != 8 {
+		t.Errorf("p90 bin = %d, want 8", got)
+	}
+}
+
+func TestLog2Bin(t *testing.T) {
+	cases := []struct {
+		d    uint64
+		want int
+	}{{0, 0}, {1, 0}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1 << 20, 21}}
+	for _, c := range cases {
+		if got := Log2Bin(c.d, 30); got != c.want {
+			t.Errorf("Log2Bin(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	if got := Log2Bin(1<<40, 16); got != 16 {
+		t.Errorf("Log2Bin clamp = %d, want 16", got)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	got := ECDF(xs, []float64{0.5, 2, 3.5, 10})
+	want := []float64{1, 0.75, 0.25, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("ECDF[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := ECDF(nil, []float64{1}); out[0] != 0 {
+		t.Error("empty ECDF should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("empty mean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("geomean = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{1, -1}); got != 0 {
+		t.Errorf("geomean with nonpositive = %v, want 0", got)
+	}
+}
+
+func TestViolin(t *testing.T) {
+	v := Summarize([]float64{1, 2, 3, 4, 5})
+	if v.Median != 3 || v.Min != 1 || v.Max != 5 || v.N != 5 {
+		t.Errorf("violin = %+v", v)
+	}
+	if v.String() == "" {
+		t.Error("violin string empty")
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty violin nonzero")
+	}
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	// Two well-separated blobs must land in different clusters.
+	rng := rand.New(rand.NewPCG(42, 1))
+	var pts [][]float64
+	for i := 0; i < 50; i++ {
+		pts = append(pts, []float64{rng.Float64() * 0.1, rng.Float64() * 0.1})
+	}
+	for i := 0; i < 50; i++ {
+		pts = append(pts, []float64{10 + rng.Float64()*0.1, 10 + rng.Float64()*0.1})
+	}
+	assign, cent := KMeans(pts, 2, 7, 50)
+	if len(cent) != 2 {
+		t.Fatalf("centroids = %d, want 2", len(cent))
+	}
+	first := assign[0]
+	for i := 1; i < 50; i++ {
+		if assign[i] != first {
+			t.Fatalf("blob 1 split between clusters")
+		}
+	}
+	for i := 50; i < 100; i++ {
+		if assign[i] == first {
+			t.Fatalf("blobs merged into one cluster")
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	var pts [][]float64
+	for i := 0; i < 40; i++ {
+		pts = append(pts, []float64{rng.Float64(), rng.Float64()})
+	}
+	a1, _ := KMeans(pts, 4, 11, 30)
+	a2, _ := KMeans(pts, 4, 11, 30)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed produced different assignments at %d", i)
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	assign, cent := KMeans(nil, 3, 1, 10)
+	if len(assign) != 0 || cent != nil {
+		t.Error("empty input should return empty")
+	}
+	pts := [][]float64{{1}, {2}}
+	assign, cent = KMeans(pts, 5, 1, 10)
+	if len(cent) != 2 || assign[0] == assign[1] {
+		t.Error("k>n should give each point its own cluster")
+	}
+	// Identical points must not hang seeding.
+	same := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	assign, _ = KMeans(same, 2, 9, 10)
+	if len(assign) != 4 {
+		t.Error("identical-point clustering failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("k<=0 should panic")
+		}
+	}()
+	KMeans(pts, 0, 1, 1)
+}
+
+// Property: normalized histogram sums to ~1 whenever nonempty.
+func TestQuickNormalizedSumsToOne(t *testing.T) {
+	f := func(adds []uint8) bool {
+		h := NewHistogram(8)
+		for _, a := range adds {
+			h.Add(int(a) % 8)
+		}
+		if h.Total == 0 {
+			return true
+		}
+		s := 0.0
+		for _, v := range h.Normalized() {
+			s += v
+		}
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ECDF evaluated at increasing thresholds is non-increasing.
+func TestQuickECDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		th := []float64{-2, -1, 0, 1, 2}
+		out := ECDF(xs, th)
+		for i := 1; i < len(out); i++ {
+			if out[i] > out[i-1]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PercentileBin is monotone in p.
+func TestQuickPercentileBinMonotone(t *testing.T) {
+	f := func(adds []uint8) bool {
+		h := NewHistogram(16)
+		for _, a := range adds {
+			h.Add(int(a) % 16)
+		}
+		prev := -1
+		for p := 0.1; p <= 1.0; p += 0.1 {
+			b := h.PercentileBin(p)
+			if b < prev {
+				return false
+			}
+			prev = b
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KMeans assignments always index valid centroids.
+func TestQuickKMeansAssignmentsValid(t *testing.T) {
+	f := func(seed uint64, n uint8, k uint8) bool {
+		pts := make([][]float64, int(n%20)+1)
+		state := seed | 1
+		for i := range pts {
+			state = state*6364136223846793005 + 1
+			pts[i] = []float64{float64(state % 97), float64((state >> 8) % 89)}
+		}
+		kk := int(k%6) + 1
+		assign, cents := KMeans(pts, kk, seed, 20)
+		if len(assign) != len(pts) {
+			return false
+		}
+		for _, a := range assign {
+			if a < 0 || a >= len(cents) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

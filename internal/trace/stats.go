@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarises the static character of an instruction stream: the
+// quantities an architect reads off a workload before sizing hardware for
+// it. Used by the tools to sanity-check that the synthetic benchmarks
+// express their intended personalities.
+type Stats struct {
+	Insts uint64
+
+	// Mix fractions by op class (sum to 1).
+	Mix [NumOpClasses]float64
+
+	// BranchDensity is branches per instruction; TakenFrac the fraction
+	// of branches taken.
+	BranchDensity float64
+	TakenFrac     float64
+
+	// MemFrac is loads+stores per instruction.
+	MemFrac float64
+
+	// DataFootprintKB estimates the touched data working set (distinct
+	// 64-byte blocks); CodeFootprintKB the touched code region.
+	DataFootprintKB float64
+	CodeFootprintKB float64
+
+	// DistinctBlocks is the number of distinct basic blocks executed.
+	DistinctBlocks int
+
+	// FpFrac is the fraction of instructions executing on FP units.
+	FpFrac float64
+}
+
+// Measure computes statistics over insts.
+func Measure(insts []Inst) Stats {
+	var s Stats
+	s.Insts = uint64(len(insts))
+	if len(insts) == 0 {
+		return s
+	}
+	var branches, taken, mem, fp uint64
+	dataBlocks := map[uint32]bool{}
+	codeBlocks := map[uint32]bool{}
+	bbs := map[uint32]bool{}
+	var counts [NumOpClasses]uint64
+	for i := range insts {
+		in := &insts[i]
+		counts[in.Op]++
+		codeBlocks[in.PC>>6] = true
+		bbs[in.BB] = true
+		switch {
+		case in.Op == Branch:
+			branches++
+			if in.Taken {
+				taken++
+			}
+		case in.Op.IsMem():
+			mem++
+			dataBlocks[in.Addr>>6] = true
+		}
+		if in.Op.IsFp() {
+			fp++
+		}
+	}
+	n := float64(len(insts))
+	for c := range counts {
+		s.Mix[c] = float64(counts[c]) / n
+	}
+	s.BranchDensity = float64(branches) / n
+	if branches > 0 {
+		s.TakenFrac = float64(taken) / float64(branches)
+	}
+	s.MemFrac = float64(mem) / n
+	s.FpFrac = float64(fp) / n
+	s.DataFootprintKB = float64(len(dataBlocks)) * 64 / 1024
+	s.CodeFootprintKB = float64(len(codeBlocks)) * 64 / 1024
+	s.DistinctBlocks = len(bbs)
+	return s
+}
+
+// String renders the summary on one block.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d insts: mem %.0f%%, fp %.0f%%, branches %.1f%% (%.0f%% taken)\n",
+		s.Insts, 100*s.MemFrac, 100*s.FpFrac, 100*s.BranchDensity, 100*s.TakenFrac)
+	fmt.Fprintf(&b, "footprints: data %.0fKB, code %.0fKB, %d basic blocks",
+		s.DataFootprintKB, s.CodeFootprintKB, s.DistinctBlocks)
+	return b.String()
+}

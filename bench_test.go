@@ -12,6 +12,7 @@ package repro
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/multicore"
 	"repro/internal/power"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -544,4 +546,51 @@ func BenchmarkExtension_Multicore(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = body
 	}
+}
+
+// BenchmarkServe_PredictThroughput boots the model-serving subsystem
+// (internal/serve, the §VIII weights-as-a-service deployment) on the
+// pipeline's trained predictor and replays a seeded load-generator
+// schedule over every phase's profiled features. The request counts are
+// deterministic for the seed; throughput and latency are the measurement.
+func BenchmarkServe_PredictThroughput(b *testing.B) {
+	ds, _, _, _ := pipeline(b)
+	pred, err := ds.TrainAll(counters.Advanced)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := serve.NewEngine(pred, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := serve.New(eng, serve.Config{CacheSize: 1024, MaxInflight: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The pool is every phase's profiled feature vector, in dataset order.
+	pool := make([][]float64, 0, len(ds.Phases))
+	for _, id := range ds.Phases {
+		pool = append(pool, ds.FeaturesAdv[id])
+	}
+	lg := serve.LoadGen{Requests: 1000, Concurrency: 8, Seed: 2010, Pool: pool}
+
+	var rep serve.LoadReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = lg.Run(ts.URL, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if rep.OK != rep.Requests || rep.ServerErr > 0 || rep.Transport > 0 {
+		b.Errorf("loadgen saw failures: %+v", rep)
+	}
+	body := fmt.Sprintf("pool=%d phase feature vectors, seed=2010\n", len(pool))
+	body += fmt.Sprintf("requests=%d ok=%d rejected=%d clientErr=%d serverErr=%d (deterministic)\n",
+		rep.Requests, rep.OK, rep.Rejected, rep.ClientErr, rep.ServerErr)
+	body += fmt.Sprintf("cache hit rate > 0: %v\n", srv.HitRate() > 0)
+	body += fmt.Sprintf("throughput %.0f req/s, p50 %v, p95 %v", rep.RequestsPerSec, rep.P50, rep.P95)
+	printReport("Serving: predict throughput", body)
+	b.ReportMetric(rep.RequestsPerSec, "req/s")
 }

@@ -1,0 +1,208 @@
+// Command adaptd serves the trained adaptivity predictor as an always-on
+// inference daemon — the paper's §VIII deployment (trained weights shipped
+// into hardware decision tables) recast as a model-serving service. On
+// first boot it trains a predictor through the experiment harness and
+// caches it to -model; later boots (and POST /v1/reload) load the file.
+//
+// Endpoints:
+//
+//	POST /v1/predict     counter feature vector -> predicted configuration
+//	                     with per-parameter soft-max probabilities
+//	GET  /v1/designspace Table I metadata and the serving model's shape
+//	GET  /healthz        liveness + model info + cache stats
+//	GET  /metrics        Prometheus text: request counts, latency
+//	                     histogram, cache hit rate, saturation
+//	POST /v1/reload      re-read -model and hot-swap it, zero downtime
+//
+// Usage:
+//
+//	adaptd [-addr :8080] [-model adaptd.model] [-counter-set advanced|basic]
+//	       [-quantized] [-train-scale test|default] [-cache 4096]
+//	       [-max-inflight 64] [-timeout 5s] [-max-body N]
+//	       [-loadgen] [-loadgen-requests N] [-loadgen-conc N]
+//	       [-loadgen-pool N] [-seed N]
+//
+// With -loadgen the daemon boots normally, points a deterministic seeded
+// load generator at itself, prints the throughput/latency report and the
+// server metrics, and exits — a reproducible serving benchmark.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/experiment"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adaptd: ")
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		modelPath  = flag.String("model", "adaptd.model", "predictor file: loaded if present, else trained and saved")
+		setName    = flag.String("counter-set", "advanced", "counter set: advanced or basic")
+		quantized  = flag.Bool("quantized", false, "serve the 8-bit quantized model (§VIII hardware form)")
+		trainScale = flag.String("train-scale", "test", "first-boot training scale: test or default")
+		cacheSize  = flag.Int("cache", 4096, "LRU decision-cache entries (0 disables)")
+		maxInfl    = flag.Int("max-inflight", 64, "concurrent predicts before 429 backpressure")
+		timeout    = flag.Duration("timeout", 5*time.Second, "per-request deadline")
+		maxBody    = flag.Int64("max-body", 1<<20, "request body byte limit")
+		loadgen    = flag.Bool("loadgen", false, "boot, benchmark the server with seeded load, print a report, exit")
+		lgRequests = flag.Int("loadgen-requests", 2000, "loadgen: total requests")
+		lgConc     = flag.Int("loadgen-conc", 8, "loadgen: concurrent workers")
+		lgPool     = flag.Int("loadgen-pool", 64, "loadgen: distinct feature vectors (repeats exercise the cache)")
+		seed       = flag.Uint64("seed", 1, "loadgen schedule seed")
+	)
+	flag.Parse()
+
+	set := counters.Advanced
+	switch *setName {
+	case "advanced":
+	case "basic":
+		set = counters.Basic
+	default:
+		log.Fatalf("unknown -counter-set %q (want advanced or basic)", *setName)
+	}
+
+	pred, err := bootPredictor(*modelPath, set, *trainScale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := serve.NewEngine(pred, *quantized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.New(eng, serve.Config{
+		ModelPath:   *modelPath,
+		Quantized:   *quantized,
+		CacheSize:   *cacheSize,
+		MaxBody:     *maxBody,
+		Timeout:     *timeout,
+		MaxInflight: *maxInfl,
+	})
+	mode := "float64"
+	if *quantized {
+		mode = "8-bit quantized"
+	}
+	log.Printf("serving %s model (%s counters, %d weights, dim %d)",
+		mode, eng.Set(), eng.WeightCount(), eng.Dim())
+
+	if *loadgen {
+		// Loadgen binds its own loopback port: it benchmarks the serving
+		// stack in-process rather than exposing -addr.
+		runLoadgen(srv, *lgRequests, *lgConc, *lgPool, *seed)
+		return
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *timeout + 5*time.Second,
+		WriteTimeout:      *timeout + 5*time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; draining connections...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("shut down cleanly (cache hit rate %.1f%%)", 100*srv.HitRate())
+}
+
+// bootPredictor loads the model file if it exists; otherwise it trains one
+// through the experiment harness at the requested scale and saves it.
+func bootPredictor(path string, set counters.Set, scaleName string) (*core.Predictor, error) {
+	if f, err := os.Open(path); err == nil {
+		defer f.Close()
+		pred, err := core.LoadPredictor(f)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w (delete it to retrain)", path, err)
+		}
+		if pred.Set != set {
+			return nil, fmt.Errorf("model %s was trained on the %q counter set but -counter-set is %q; retrain or switch the flag", path, pred.Set, set)
+		}
+		log.Printf("loaded predictor from %s", path)
+		return pred, nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("opening %s: %w", path, err)
+	}
+
+	sc := experiment.TestScale()
+	if scaleName == "default" {
+		sc = experiment.DefaultScale()
+	}
+	log.Printf("no model at %s; training at %s scale (%d programs x %d phases)...",
+		path, scaleName, len(sc.Programs), sc.PhasesPerProgram)
+	ds, err := experiment.BuildDataset(sc)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := ds.TrainAll(set)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := pred.Save(f); err != nil {
+		return nil, err
+	}
+	log.Printf("trained and saved predictor to %s (%d weights)", path, pred.WeightCount())
+	return pred, nil
+}
+
+// runLoadgen serves on a local listener and fires the seeded load
+// generator at it, printing the report and the server's own metrics.
+func runLoadgen(srv *serve.Server, requests, conc, pool int, seed uint64) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+
+	eng := srv.Engine()
+	lg := serve.LoadGen{
+		Requests:    requests,
+		Concurrency: conc,
+		Seed:        seed,
+		Pool:        serve.SyntheticFeatures(eng.Dim(), pool, seed),
+	}
+	log.Printf("loadgen: %d requests, %d workers, %d-vector pool, seed %d",
+		requests, conc, pool, seed)
+	rep, err := lg.Run("http://"+ln.Addr().String(), &http.Client{Timeout: 30 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+	fmt.Printf("server cache hit rate: %.1f%%\n\n", 100*srv.HitRate())
+	fmt.Println(srv.MetricsText())
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -60,16 +61,24 @@ func main() {
 	var pred *core.Predictor
 	var bestStatic = arch.Baseline()
 	if *modelPath != "" {
-		if f, err := os.Open(*modelPath); err == nil {
+		f, err := os.Open(*modelPath)
+		switch {
+		case err == nil:
 			pred, err = core.LoadPredictor(f)
 			f.Close()
 			if err != nil {
-				log.Fatalf("loading cached model: %v", err)
+				log.Fatalf("loading cached model %s: %v (delete it to retrain)", *modelPath, err)
 			}
+			// A cached predictor must match the requested counter set, or
+			// every prediction would be mis-dimensioned (LoadPredictor has
+			// already validated the file against its own declared set).
 			if pred.Set != set {
-				log.Fatalf("cached model uses %s counters, want %s", pred.Set, set)
+				log.Fatalf("cached model %s was trained on the %q counter set but -counter-set is %q; delete the cache or pass -counter-set %s",
+					*modelPath, pred.Set, set, pred.Set)
 			}
 			log.Printf("loaded trained predictor from %s", *modelPath)
+		case !errors.Is(err, os.ErrNotExist):
+			log.Fatalf("opening model cache %s: %v", *modelPath, err)
 		}
 	}
 	if pred == nil {

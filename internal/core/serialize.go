@@ -1,10 +1,13 @@
 package core
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 
+	"repro/internal/arch"
 	"repro/internal/counters"
 	"repro/internal/softmax"
 )
@@ -13,6 +16,16 @@ import (
 // expensive, simulation-heavy step) can be shipped to and loaded by the
 // runtime controller — the software analogue of burning the weights into
 // the §VIII hardware tables.
+//
+// The on-disk format is a fixed magic + one version byte followed by a gob
+// payload, so LoadPredictor can reject corrupt or foreign files with a
+// clear error instead of a raw gob decode failure. Files written before
+// the header existed (bare gob) are still readable via a legacy path.
+
+// wireMagic identifies a predictor file; wireVersion is the current format.
+var wireMagic = [4]byte{'A', 'D', 'P', 'T'}
+
+const wireVersion = 1
 
 // predictorWire is the gob wire format, kept separate from the live type
 // so the in-memory representation can evolve.
@@ -23,7 +36,8 @@ type predictorWire struct {
 	Floats [][]float64
 }
 
-// Save writes the predictor to w in a self-describing binary format.
+// Save writes the predictor to w in a self-describing binary format:
+// magic, format version, then the gob-encoded weights.
 func (p *Predictor) Save(w io.Writer) error {
 	wire := predictorWire{Set: int(p.Set)}
 	for _, m := range p.Models {
@@ -34,14 +48,34 @@ func (p *Predictor) Save(w io.Writer) error {
 		wire.Ks = append(wire.Ks, m.K)
 		wire.Floats = append(wire.Floats, m.W)
 	}
+	if _, err := w.Write(append(wireMagic[:], wireVersion)); err != nil {
+		return fmt.Errorf("core: writing predictor header: %w", err)
+	}
 	return gob.NewEncoder(w).Encode(wire)
 }
 
-// LoadPredictor reads a predictor previously written by Save.
+// LoadPredictor reads a predictor previously written by Save. It accepts
+// the current headered format and, as a legacy path, the bare-gob files
+// written before the format was versioned.
 func LoadPredictor(r io.Reader) (*Predictor, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(wireMagic) + 1)
+	switch {
+	case err == nil && bytes.Equal(head[:len(wireMagic)], wireMagic[:]):
+		if v := head[len(wireMagic)]; v != wireVersion {
+			return nil, fmt.Errorf("core: predictor format version %d not supported (want %d)", v, wireVersion)
+		}
+		if _, err := br.Discard(len(wireMagic) + 1); err != nil {
+			return nil, fmt.Errorf("core: reading predictor header: %w", err)
+		}
+	case err != nil && err != io.EOF && err != bufio.ErrBufferFull:
+		return nil, fmt.Errorf("core: reading predictor header: %w", err)
+	default:
+		// No magic: fall through and try the legacy bare-gob format.
+	}
 	var wire predictorWire
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("core: decoding predictor: %w", err)
+	if err := gob.NewDecoder(br).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: not a predictor file (missing %q header) and not a legacy gob predictor: %w", wireMagic, err)
 	}
 	if len(wire.Dims) != len(p0Models) || len(wire.Ks) != len(p0Models) || len(wire.Floats) != len(p0Models) {
 		return nil, fmt.Errorf("core: predictor has %d models, want %d", len(wire.Dims), len(p0Models))
@@ -59,7 +93,36 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 		copy(m.W, wire.Floats[i])
 		p.Models[i] = m
 	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	return p, nil
+}
+
+// Validate checks that the predictor's shape matches the design space and
+// its counter set: a known Set, one model per parameter, every model's
+// input dimension equal to the set's feature dimension and its class count
+// equal to the parameter's domain size. A loaded predictor that fails this
+// was trained against a different feature encoding or parameter space and
+// would mis-dimension every prediction.
+func (p *Predictor) Validate() error {
+	if p.Set != counters.Basic && p.Set != counters.Advanced {
+		return fmt.Errorf("core: predictor has unknown counter set %d", int(p.Set))
+	}
+	d := counters.Dim(p.Set)
+	for param := arch.Param(0); param < arch.NumParams; param++ {
+		m := p.Models[param]
+		if m == nil {
+			return fmt.Errorf("core: predictor is missing the %s model", param)
+		}
+		if m.D != d {
+			return fmt.Errorf("core: %s model expects %d features but the %s counter set has %d", param, m.D, p.Set, d)
+		}
+		if k := arch.DomainSize(param); m.K != k {
+			return fmt.Errorf("core: %s model has %d classes but the parameter domain has %d values", param, m.K, k)
+		}
+	}
+	return nil
 }
 
 // p0Models is a zero predictor used only for its model count.

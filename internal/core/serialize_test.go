@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/counters"
+)
+
+func TestSaveWritesVersionedHeader(t *testing.T) {
+	pred := trainToyPredictor(t, counters.Basic)
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) < 5 || !bytes.Equal(b[:4], wireMagic[:]) {
+		t.Fatalf("saved predictor does not start with magic %q: % x", wireMagic, b[:min(8, len(b))])
+	}
+	if b[4] != wireVersion {
+		t.Errorf("format version byte = %d, want %d", b[4], wireVersion)
+	}
+}
+
+func TestLoadPredictorLegacyBareGob(t *testing.T) {
+	// Files written before the header existed are bare gob; they must
+	// still load.
+	pred := trainToyPredictor(t, counters.Basic)
+	wire := predictorWire{Set: int(pred.Set)}
+	for _, m := range pred.Models {
+		wire.Dims = append(wire.Dims, m.D)
+		wire.Ks = append(wire.Ks, m.K)
+		wire.Floats = append(wire.Floats, m.W)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatalf("legacy bare-gob predictor rejected: %v", err)
+	}
+	if loaded.Set != pred.Set {
+		t.Errorf("set mismatch: %v vs %v", loaded.Set, pred.Set)
+	}
+}
+
+func TestLoadPredictorRejectsFutureVersion(t *testing.T) {
+	pred := trainToyPredictor(t, counters.Basic)
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = wireVersion + 9
+	_, err := LoadPredictor(bytes.NewReader(b))
+	if err == nil {
+		t.Fatal("future format version accepted")
+	}
+}
+
+func TestLoadPredictorRejectsShortFile(t *testing.T) {
+	for _, b := range [][]byte{nil, {'A'}, {'A', 'D', 'P'}, append(wireMagic[:], wireVersion)} {
+		if _, err := LoadPredictor(bytes.NewReader(b)); err == nil {
+			t.Errorf("short file % x accepted", b)
+		}
+	}
+}
+
+func TestValidateCatchesShapeMismatches(t *testing.T) {
+	pred := trainToyPredictor(t, counters.Basic)
+	if err := pred.Validate(); err != nil {
+		t.Fatalf("trained predictor invalid: %v", err)
+	}
+
+	wrongSet := *pred
+	wrongSet.Set = counters.Advanced // basic-dimension models under the advanced set
+	if err := wrongSet.Validate(); err == nil {
+		t.Error("set/dimension mismatch not caught")
+	}
+
+	var missing Predictor
+	missing.Set = counters.Basic
+	if err := missing.Validate(); err == nil {
+		t.Error("missing models not caught")
+	}
+}
+
+func TestLoadPredictorRejectsForeignShape(t *testing.T) {
+	// A structurally consistent wire payload whose class counts do not
+	// match the design space must be rejected at load time.
+	var wire predictorWire
+	d := counters.Dim(counters.Basic)
+	for i := 0; i < int(arch.NumParams); i++ {
+		k := arch.DomainSize(arch.Param(i)) + 1
+		wire.Dims = append(wire.Dims, d)
+		wire.Ks = append(wire.Ks, k)
+		wire.Floats = append(wire.Floats, make([]float64, d*k))
+	}
+	var buf bytes.Buffer
+	buf.Write(append(wireMagic[:], wireVersion))
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPredictor(&buf); err == nil {
+		t.Fatal("foreign-shape predictor accepted")
+	}
+}

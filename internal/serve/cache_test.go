@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func entryFor(key string) *cacheEntry {
+	return &cacheEntry{key: key, config: arch.Baseline()}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newDecisionCache(2)
+	c.put(entryFor("a"))
+	c.put(entryFor("b"))
+	if _, ok := c.get("a"); !ok { // touch a -> b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put(entryFor("c")) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should survive (recently used)")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c should be present")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newDecisionCache(0)
+	c.put(entryFor("a"))
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	c := newDecisionCache(8)
+	c.put(entryFor("a"))
+	c.put(entryFor("b"))
+	c.purge()
+	if c.len() != 0 {
+		t.Errorf("len after purge = %d", c.len())
+	}
+	if _, ok := c.get("a"); ok {
+		t.Error("purged entry still readable")
+	}
+	c.put(entryFor("c"))
+	if _, ok := c.get("c"); !ok {
+		t.Error("cache unusable after purge")
+	}
+}
+
+func TestCacheKeyQuantization(t *testing.T) {
+	a := []float64{0.5, 0.25, 1}
+	b := []float64{0.5 + 1e-9, 0.25, 1} // sub-resolution jitter
+	c := []float64{0.5, 0.26, 1}        // a real difference
+	if cacheKey(a) != cacheKey(b) {
+		t.Error("sub-resolution jitter changed the key")
+	}
+	if cacheKey(a) == cacheKey(c) {
+		t.Error("distinct features collided")
+	}
+	// Out-of-range values must clamp, not wrap.
+	if cacheKey([]float64{1e9}) != cacheKey([]float64{1e12}) {
+		t.Error("clamped extremes should share a key")
+	}
+	if cacheKey([]float64{1e9}) == cacheKey([]float64{-1e9}) {
+		t.Error("opposite extremes should not collide")
+	}
+}
+
+func TestCacheUpdateExistingKey(t *testing.T) {
+	c := newDecisionCache(2)
+	c.put(entryFor("a"))
+	e2 := entryFor("a")
+	e2.config = arch.MinConfig()
+	c.put(e2)
+	if c.len() != 1 {
+		t.Errorf("duplicate key grew the cache: len=%d", c.len())
+	}
+	got, ok := c.get("a")
+	if !ok || got.config != arch.MinConfig() {
+		t.Error("update did not replace the entry")
+	}
+}

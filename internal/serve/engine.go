@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/counters"
+)
+
+// Engine is one immutable, swappable serving model: a validated predictor
+// plus, optionally, its 8-bit quantised form (§VIII) used for the actual
+// decisions. Engines are never mutated after construction, so the server
+// can hot-swap them through an atomic pointer with no locking on the
+// predict path.
+type Engine struct {
+	pred      *core.Predictor
+	quant     *core.QuantizedPredictor
+	quantized bool
+	dim       int
+}
+
+// NewEngine validates the predictor and wraps it for serving. When
+// quantized is true, decisions and probabilities are computed from the
+// 8-bit weights — the hardware-table deployment mode.
+func NewEngine(pred *core.Predictor, quantized bool) (*Engine, error) {
+	if pred == nil {
+		return nil, fmt.Errorf("serve: nil predictor")
+	}
+	if err := pred.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: predictor rejected: %w", err)
+	}
+	e := &Engine{pred: pred, quantized: quantized, dim: counters.Dim(pred.Set)}
+	if quantized {
+		e.quant = pred.Quantize()
+	}
+	return e, nil
+}
+
+// Set returns the counter set the engine's features must come from.
+func (e *Engine) Set() counters.Set { return e.pred.Set }
+
+// Dim returns the expected feature-vector length.
+func (e *Engine) Dim() int { return e.dim }
+
+// Quantized reports whether decisions use the 8-bit weights.
+func (e *Engine) Quantized() bool { return e.quantized }
+
+// WeightCount returns the model's total weight count.
+func (e *Engine) WeightCount() int { return e.pred.WeightCount() }
+
+// Predict returns the predicted configuration and, for every parameter,
+// the soft-max distribution over its domain values.
+func (e *Engine) Predict(features []float64) (arch.Config, [arch.NumParams][]float64) {
+	var probs [arch.NumParams][]float64
+	var ix [arch.NumParams]int
+	for param := arch.Param(0); param < arch.NumParams; param++ {
+		if e.quantized {
+			probs[param] = e.quant.Models[param].Probabilities(features)
+		} else {
+			probs[param] = e.pred.Models[param].Probabilities(features)
+		}
+		best, bi := -1.0, 0
+		for k, p := range probs[param] {
+			if p > best {
+				best, bi = p, k
+			}
+		}
+		ix[param] = bi
+	}
+	return arch.FromIndices(ix), probs
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// LoadGen is a deterministic, seeded load generator: it replays a fixed
+// request schedule (feature vectors drawn from a pool with a seeded PCG)
+// against a running server, so a loadgen run doubles as a reproducible
+// throughput/latency benchmark — the same seed always issues the same
+// requests in the same per-worker order.
+type LoadGen struct {
+	// Requests is the total number of predict calls to issue.
+	Requests int
+	// Concurrency is the number of worker goroutines. Keep it at or below
+	// the server's MaxInflight for a zero-429 run.
+	Concurrency int
+	// Seed drives the request schedule.
+	Seed uint64
+	// Pool is the feature vectors sampled from. Smaller pools mean more
+	// repeats and a hotter decision cache.
+	Pool [][]float64
+}
+
+// LoadReport aggregates one load-generation run. The count fields are a
+// pure function of (Seed, Requests, Pool) and the server's limits; the
+// latency fields are wall-clock measurements.
+type LoadReport struct {
+	Requests  int // issued
+	OK        int // 200
+	Rejected  int // 429 (saturation backpressure)
+	ClientErr int // other 4xx
+	ServerErr int // 5xx
+	Transport int // transport-level failures
+	CacheHits int // responses answered from the decision cache
+
+	Elapsed        time.Duration
+	P50, P95, Max  time.Duration
+	RequestsPerSec float64
+}
+
+// String renders the report; the first line is deterministic for a seeded
+// run against an unsaturated server.
+func (r LoadReport) String() string {
+	return fmt.Sprintf(
+		"requests=%d ok=%d rejected=%d clientErr=%d serverErr=%d transportErr=%d\n"+
+			"throughput=%.0f req/s  p50=%v p95=%v max=%v  cacheHits=%d",
+		r.Requests, r.OK, r.Rejected, r.ClientErr, r.ServerErr, r.Transport,
+		r.RequestsPerSec, r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+		r.Max.Round(time.Microsecond), r.CacheHits)
+}
+
+// SyntheticFeatures builds n deterministic pseudo-feature vectors of the
+// given dimension: values in [0, 1) with the trailing bias fixed at 1,
+// matching the shape of real counter features. Used when a loadgen run has
+// no profiled phases at hand.
+func SyntheticFeatures(dim, n int, seed uint64) [][]float64 {
+	rng := rand.New(rand.NewPCG(seed, 0xfea70e55))
+	pool := make([][]float64, n)
+	for i := range pool {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		v[dim-1] = 1
+		pool[i] = v
+	}
+	return pool
+}
+
+// Run replays the schedule against baseURL (e.g. "http://127.0.0.1:8080")
+// using client (http.DefaultClient if nil) and aggregates the outcome.
+func (lg LoadGen) Run(baseURL string, client *http.Client) (LoadReport, error) {
+	if len(lg.Pool) == 0 {
+		return LoadReport{}, fmt.Errorf("serve: loadgen needs a non-empty feature pool")
+	}
+	if lg.Requests <= 0 {
+		lg.Requests = 1000
+	}
+	if lg.Concurrency <= 0 {
+		lg.Concurrency = 4
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	// Pre-encode each pool vector once and fix the whole schedule up
+	// front, so the request stream is a pure function of the seed.
+	bodies := make([][]byte, len(lg.Pool))
+	for i, f := range lg.Pool {
+		b, err := json.Marshal(PredictRequest{Features: f})
+		if err != nil {
+			return LoadReport{}, err
+		}
+		bodies[i] = b
+	}
+	rng := rand.New(rand.NewPCG(lg.Seed, 0x10ad6e4))
+	schedule := make([]int, lg.Requests)
+	for i := range schedule {
+		schedule[i] = rng.IntN(len(lg.Pool))
+	}
+
+	var (
+		mu        sync.Mutex
+		rep       LoadReport
+		latencies []float64
+	)
+	url := baseURL + "/v1/predict"
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < lg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[idx]))
+				lat := time.Since(t0)
+				mu.Lock()
+				rep.Requests++
+				latencies = append(latencies, float64(lat))
+				if err != nil {
+					rep.Transport++
+					mu.Unlock()
+					continue
+				}
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					rep.OK++
+					var pr PredictResponse
+					if json.NewDecoder(resp.Body).Decode(&pr) == nil && pr.Cached {
+						rep.CacheHits++
+					}
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rep.Rejected++
+				case resp.StatusCode >= 500:
+					rep.ServerErr++
+				default:
+					rep.ClientErr++
+				}
+				mu.Unlock()
+				resp.Body.Close()
+			}
+		}()
+	}
+	for _, idx := range schedule {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep.Elapsed = time.Since(start)
+	if rep.Elapsed > 0 {
+		rep.RequestsPerSec = float64(rep.Requests) / rep.Elapsed.Seconds()
+	}
+	rep.P50 = time.Duration(stats.Quantile(latencies, 0.50))
+	rep.P95 = time.Duration(stats.Quantile(latencies, 0.95))
+	rep.Max = time.Duration(stats.Quantile(latencies, 1))
+	return rep, nil
+}

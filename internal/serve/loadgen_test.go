@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/counters"
+)
+
+func TestSyntheticFeaturesDeterministic(t *testing.T) {
+	a := SyntheticFeatures(16, 4, 7)
+	b := SyntheticFeatures(16, 4, 7)
+	if len(a) != 4 || len(a[0]) != 16 {
+		t.Fatalf("wrong shape: %dx%d", len(a), len(a[0]))
+	}
+	for i := range a {
+		if a[i][15] != 1 {
+			t.Errorf("vector %d bias = %f", i, a[i][15])
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("same seed produced different features at [%d][%d]", i, j)
+			}
+		}
+	}
+	c := SyntheticFeatures(16, 4, 8)
+	if a[0][0] == c[0][0] {
+		t.Error("different seeds produced identical features")
+	}
+}
+
+func TestLoadGenDeterministicCounts(t *testing.T) {
+	run := func() LoadReport {
+		_, ts := newTestServer(t, Config{CacheSize: 64, MaxInflight: 32})
+		lg := LoadGen{
+			Requests:    120,
+			Concurrency: 4,
+			Seed:        42,
+			Pool:        SyntheticFeatures(counters.Dim(counters.Basic), 8, 42),
+		}
+		rep, err := lg.Run(ts.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1, r2 := run(), run()
+	if r1.Requests != 120 || r1.OK != 120 || r1.Rejected != 0 || r1.ServerErr != 0 || r1.Transport != 0 {
+		t.Errorf("unexpected counts: %+v", r1)
+	}
+	if r1.Requests != r2.Requests || r1.OK != r2.OK {
+		t.Errorf("seeded runs disagree: %d/%d vs %d/%d", r1.Requests, r1.OK, r2.Requests, r2.OK)
+	}
+	// 120 requests over an 8-vector pool: the cache must get hot.
+	if r1.CacheHits == 0 {
+		t.Error("no cache hits on a heavily repeated pool")
+	}
+}
+
+func TestLoadGenEmptyPool(t *testing.T) {
+	if _, err := (LoadGen{Requests: 1}).Run("http://127.0.0.1:0", nil); err == nil {
+		t.Error("empty pool accepted")
+	}
+}
+
+// TestQuantizedAgreesWithFloatServer asserts the §VIII deployment claim at
+// the serving layer: across a seeded feature batch, the 8-bit engine must
+// make the same per-parameter decision as the float engine almost always
+// (>= 90% of parameter decisions).
+func TestQuantizedAgreesWithFloatServer(t *testing.T) {
+	pred := trainTestPredictor(t, counters.Basic)
+	floatEng, err := NewEngine(pred, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantEng, err := NewEngine(pred, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quantEng.Quantized() || floatEng.Quantized() {
+		t.Fatal("engine modes wrong")
+	}
+	batch := SyntheticFeatures(counters.Dim(counters.Basic), 64, 2010)
+	agree, total := 0, 0
+	for _, f := range batch {
+		fc, _ := floatEng.Predict(f)
+		qc, _ := quantEng.Predict(f)
+		for p := arch.Param(0); p < arch.NumParams; p++ {
+			total++
+			if fc[p] == qc[p] {
+				agree++
+			}
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.9 {
+		t.Errorf("quantized/float agreement %.1f%% (%d/%d), want >= 90%%", 100*frac, agree, total)
+	}
+}

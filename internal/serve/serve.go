@@ -1,0 +1,378 @@
+// Package serve turns the trained adaptivity predictor into an always-on,
+// low-latency inference service: the software analogue of the paper's
+// §VIII deployment, where the trained soft-max weights are shipped into
+// hardware tables and consulted at every phase change. Here the weights
+// are shipped into a daemon (cmd/adaptd) that answers counter-feature
+// vectors with predicted 14-parameter configurations over JSON/HTTP.
+//
+// The server is built for production shapes rather than batch use: an LRU
+// decision cache keyed by quantized feature vectors (phases repeat, so
+// decisions do too), lock-free engine hot-swap for zero-downtime model
+// reload, bounded concurrency with 429 backpressure, per-request timeouts
+// and body-size limits, and hand-rolled Prometheus-text metrics. Stdlib
+// only, like the rest of the repository.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/counters"
+)
+
+// Config bounds the server's resource use.
+type Config struct {
+	// ModelPath is the predictor file re-read by POST /v1/reload; empty
+	// disables reload.
+	ModelPath string
+	// Quantized routes decisions through the 8-bit weights (§VIII).
+	Quantized bool
+	// CacheSize is the LRU decision-cache capacity; <= 0 disables it.
+	CacheSize int
+	// MaxBody is the request-body byte limit (default 1 MiB).
+	MaxBody int64
+	// Timeout is the per-request handler deadline (default 5s).
+	Timeout time.Duration
+	// MaxInflight bounds concurrent predict requests; excess requests are
+	// rejected with 429 (default 64).
+	MaxInflight int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	return c
+}
+
+// Server serves one hot-swappable Engine.
+type Server struct {
+	cfg     Config
+	engine  atomic.Pointer[Engine]
+	cache   *decisionCache
+	metrics *metrics
+	sem     chan struct{}
+	start   time.Time
+}
+
+// New returns a server for the given engine.
+func New(e *Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newDecisionCache(cfg.CacheSize),
+		metrics: newMetrics(),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		start:   time.Now(),
+	}
+	s.engine.Store(e)
+	return s
+}
+
+// Engine returns the currently serving engine.
+func (s *Server) Engine() *Engine { return s.engine.Load() }
+
+// Swap atomically replaces the serving engine and purges the decision
+// cache (the new model's decisions may differ for identical features).
+// In-flight requests finish on whichever engine they loaded — zero
+// downtime.
+func (s *Server) Swap(e *Engine) {
+	s.engine.Store(e)
+	s.cache.purge()
+}
+
+// HitRate returns the decision-cache hit rate so far.
+func (s *Server) HitRate() float64 { return s.metrics.hitRate() }
+
+// MetricsText returns the Prometheus exposition (also served at /metrics).
+func (s *Server) MetricsText() string { return s.metrics.render(s.cache.len()) }
+
+// Handler returns the service's HTTP handler: every endpoint, wrapped with
+// request accounting and the per-request timeout.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.instrument("/v1/predict", s.handlePredict))
+	mux.HandleFunc("/v1/designspace", s.instrument("/v1/designspace", s.handleDesignSpace))
+	mux.HandleFunc("/v1/reload", s.instrument("/v1/reload", s.handleReload))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	return http.TimeoutHandler(mux, s.cfg.Timeout, "request deadline exceeded\n")
+}
+
+// statusWriter records the status code written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-(path, status) request counting.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.observeRequest(path, sw.code)
+	}
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// PredictRequest is the POST /v1/predict payload: a counter feature
+// vector, optionally tagged with the counter set it was built from so the
+// server can reject features from the wrong encoding.
+type PredictRequest struct {
+	Features []float64 `json:"features"`
+	Set      string    `json:"set,omitempty"`
+}
+
+// PredictResponse is the decision: the predicted configuration (parameter
+// name -> Table I value) and the per-parameter soft-max distributions over
+// each parameter's domain.
+type PredictResponse struct {
+	Config        map[string]int       `json:"config"`
+	Probabilities map[string][]float64 `json:"probabilities"`
+	Set           string               `json:"set"`
+	Quantized     bool                 `json:"quantized"`
+	Cached        bool                 `json:"cached"`
+}
+
+// handlePredict answers one feature vector with a configuration decision.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.metrics.addSaturated()
+		writeError(w, http.StatusTooManyRequests, "server saturated (%d predicts in flight); retry", s.cfg.MaxInflight)
+		return
+	}
+	started := time.Now()
+
+	var req PredictRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.cfg.MaxBody)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+
+	eng := s.engine.Load()
+	if req.Set != "" && req.Set != eng.Set().String() {
+		writeError(w, http.StatusBadRequest, "features are from the %q counter set but the model serves %q", req.Set, eng.Set())
+		return
+	}
+	if len(req.Features) != eng.Dim() {
+		writeError(w, http.StatusBadRequest, "feature vector has dimension %d, model expects %d (%s counter set)", len(req.Features), eng.Dim(), eng.Set())
+		return
+	}
+
+	key := cacheKey(req.Features)
+	entry, hit := s.cache.get(key)
+	if hit && entry.eng == eng {
+		s.metrics.addHit()
+	} else {
+		cfg, probs := eng.Predict(req.Features)
+		entry = &cacheEntry{key: key, eng: eng, config: cfg, probs: probs}
+		s.cache.put(entry)
+		s.metrics.addMiss()
+		hit = false
+	}
+
+	resp := PredictResponse{
+		Config:        map[string]int{},
+		Probabilities: map[string][]float64{},
+		Set:           eng.Set().String(),
+		Quantized:     eng.Quantized(),
+		Cached:        hit,
+	}
+	for p := arch.Param(0); p < arch.NumParams; p++ {
+		resp.Config[p.String()] = entry.config[p]
+		resp.Probabilities[p.String()] = entry.probs[p]
+	}
+	s.metrics.observeLatency(time.Since(started).Seconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// DesignSpaceResponse is the GET /v1/designspace payload: Table I.
+type DesignSpaceResponse struct {
+	Parameters  []ParameterInfo  `json:"parameters"`
+	SpacePoints uint64           `json:"spacePoints"`
+	CounterSets []CounterSetInfo `json:"counterSets"`
+	Model       ModelInfo        `json:"model"`
+}
+
+// ParameterInfo describes one Table I row.
+type ParameterInfo struct {
+	Name   string `json:"name"`
+	Values []int  `json:"values"`
+}
+
+// CounterSetInfo names a feature encoding and its dimension.
+type CounterSetInfo struct {
+	Name string `json:"name"`
+	Dim  int    `json:"dim"`
+}
+
+// ModelInfo describes the serving model.
+type ModelInfo struct {
+	Set       string `json:"set"`
+	Dim       int    `json:"dim"`
+	Weights   int    `json:"weights"`
+	Quantized bool   `json:"quantized"`
+}
+
+// handleDesignSpace serves Table I metadata plus the serving model shape.
+func (s *Server) handleDesignSpace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	eng := s.engine.Load()
+	resp := DesignSpaceResponse{
+		SpacePoints: arch.SpaceSize(),
+		CounterSets: []CounterSetInfo{
+			{Name: counters.Basic.String(), Dim: counters.Dim(counters.Basic)},
+			{Name: counters.Advanced.String(), Dim: counters.Dim(counters.Advanced)},
+		},
+		Model: ModelInfo{
+			Set:       eng.Set().String(),
+			Dim:       eng.Dim(),
+			Weights:   eng.WeightCount(),
+			Quantized: eng.Quantized(),
+		},
+	}
+	for p := arch.Param(0); p < arch.NumParams; p++ {
+		resp.Parameters = append(resp.Parameters, ParameterInfo{
+			Name:   p.String(),
+			Values: append([]int(nil), arch.Domain(p)...),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ReloadResponse reports a successful hot-swap.
+type ReloadResponse struct {
+	Reloaded bool      `json:"reloaded"`
+	Model    ModelInfo `json:"model"`
+}
+
+// handleReload re-reads the model file and swaps it in atomically.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.cfg.ModelPath == "" {
+		writeError(w, http.StatusConflict, "server has no -model path; reload disabled")
+		return
+	}
+	f, err := os.Open(s.cfg.ModelPath)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "opening model file: %v", err)
+		return
+	}
+	defer f.Close()
+	pred, err := core.LoadPredictor(f)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "loading model: %v", err)
+		return
+	}
+	eng, err := NewEngine(pred, s.cfg.Quantized)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "building engine: %v", err)
+		return
+	}
+	s.Swap(eng)
+	s.metrics.addReload()
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		Reloaded: true,
+		Model: ModelInfo{
+			Set:       eng.Set().String(),
+			Dim:       eng.Dim(),
+			Weights:   eng.WeightCount(),
+			Quantized: eng.Quantized(),
+		},
+	})
+}
+
+// HealthResponse is the GET /healthz payload.
+type HealthResponse struct {
+	Status        string    `json:"status"`
+	Model         ModelInfo `json:"model"`
+	UptimeSeconds float64   `json:"uptimeSeconds"`
+	CacheEntries  int       `json:"cacheEntries"`
+	CacheHitRate  float64   `json:"cacheHitRate"`
+}
+
+// handleHealthz reports liveness and the serving model.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	eng := s.engine.Load()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok",
+		Model: ModelInfo{
+			Set:       eng.Set().String(),
+			Dim:       eng.Dim(),
+			Weights:   eng.WeightCount(),
+			Quantized: eng.Quantized(),
+		},
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		CacheEntries:  s.cache.len(),
+		CacheHitRate:  s.metrics.hitRate(),
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, s.metrics.render(s.cache.len()))
+}

@@ -332,18 +332,36 @@ func (m *Model) Quantize() *Quantized {
 	return q
 }
 
-// Predict returns the argmax class using the quantised weights.
-func (q *Quantized) Predict(x []float64) int {
-	scores := make([]float64, q.K)
+// Scores computes the K linear scores in float weight units (the integer
+// accumulator times Scale) into out (allocated if nil). Scaling does not
+// change the argmax but makes the scores comparable to the float model's,
+// so the soft-max distribution over them is meaningful.
+func (q *Quantized) Scores(x []float64, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, q.K)
+	} else {
+		for k := range out {
+			out[k] = 0
+		}
+	}
 	for i, xi := range x {
 		if xi == 0 {
 			continue
 		}
 		row := q.W[i*q.K : i*q.K+q.K]
 		for k, w := range row {
-			scores[k] += float64(w) * xi
+			out[k] += float64(w) * xi
 		}
 	}
+	for k := range out {
+		out[k] *= q.Scale
+	}
+	return out
+}
+
+// Predict returns the argmax class using the quantised weights.
+func (q *Quantized) Predict(x []float64) int {
+	scores := q.Scores(x, nil)
 	best, bi := math.Inf(-1), 0
 	for k, v := range scores {
 		if v > best {
@@ -351,6 +369,27 @@ func (q *Quantized) Predict(x []float64) int {
 		}
 	}
 	return bi
+}
+
+// Probabilities returns the soft-max distribution implied by the quantised
+// scores — the serving path's confidence estimate for 8-bit deployments.
+func (q *Quantized) Probabilities(x []float64) []float64 {
+	s := q.Scores(x, nil)
+	maxS := math.Inf(-1)
+	for _, v := range s {
+		if v > maxS {
+			maxS = v
+		}
+	}
+	total := 0.0
+	for k, v := range s {
+		s[k] = math.Exp(v - maxS)
+		total += s[k]
+	}
+	for k := range s {
+		s[k] /= total
+	}
+	return s
 }
 
 // StorageBytes returns the storage footprint of the quantised weights.

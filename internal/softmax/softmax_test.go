@@ -173,6 +173,56 @@ func TestQuantizeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestQuantizedScoresScaledToFloatUnits(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	exs := separable(200, rng)
+	m, _ := Train(4, 3, exs, DefaultOptions())
+	q := m.Quantize()
+	// Scores are Scale * integer accumulator: close to the float scores,
+	// within the per-weight quantisation error bound.
+	for _, ex := range exs[:20] {
+		fs := m.Scores(ex.X, nil)
+		qs := q.Scores(ex.X, nil)
+		var xsum float64
+		for _, xi := range ex.X {
+			xsum += math.Abs(xi)
+		}
+		bound := q.Scale/2*xsum + 1e-9
+		for k := range fs {
+			if d := math.Abs(fs[k] - qs[k]); d > bound {
+				t.Fatalf("class %d: quantized score %v vs float %v (err %v > bound %v)", k, qs[k], fs[k], d, bound)
+			}
+		}
+	}
+}
+
+func TestQuantizedProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	exs := separable(200, rng)
+	m, _ := Train(4, 3, exs, DefaultOptions())
+	q := m.Quantize()
+	for _, ex := range exs[:20] {
+		p := q.Probabilities(ex.X)
+		sum := 0.0
+		argmax := 0
+		for k, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("bad probability %v", v)
+			}
+			sum += v
+			if v > p[argmax] {
+				argmax = k
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("probabilities sum to %v", sum)
+		}
+		if argmax != q.Predict(ex.X) {
+			t.Errorf("probability argmax %d disagrees with Predict %d", argmax, q.Predict(ex.X))
+		}
+	}
+}
+
 func TestQuantizeZeroModel(t *testing.T) {
 	m, _ := NewModel(2, 2, 0)
 	q := m.Quantize()

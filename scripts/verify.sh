@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build, vet, formatting, the full test suite,
+# and the serving subsystem under the race detector (it is the only
+# package with real request-level concurrency). CLAUDE.md points here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race internal/serve =="
+go test -race ./internal/serve
+
+echo "verify: all gates passed"

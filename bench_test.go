@@ -12,10 +12,12 @@ package repro
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/altmodel"
 	"repro/internal/arch"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/experiment"
 	"repro/internal/multicore"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -65,6 +68,18 @@ func pipeline(b *testing.B) (*experiment.Dataset, *experiment.Evaluation, *exper
 		sc := benchScale()
 		fmt.Printf("# building dataset: %d programs x %d phases, %d-inst intervals\n",
 			len(sc.Programs), sc.PhasesPerProgram, sc.IntervalInsts)
+		// Live progress/ETA with the memo hit rate — the full-scale build
+		// takes tens of minutes and used to be silent.
+		prog := &obs.Progress{Logger: obs.NewLogger(os.Stderr, false, slog.LevelInfo), Every: 10 * time.Second}
+		experiment.SetProgress(func(stage string, done, total int) {
+			hits, sims := experiment.MemoStats()
+			rate := 0.0
+			if hits+sims > 0 {
+				rate = float64(hits) / float64(hits+sims)
+			}
+			prog.Observe(stage, done, total, "sims", sims, "memoHitRate", fmt.Sprintf("%.2f", rate))
+		})
+		defer experiment.SetProgress(nil)
 		pipeDS, pipeErr = experiment.BuildDataset(sc)
 		if pipeErr != nil {
 			return

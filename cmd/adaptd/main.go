@@ -11,14 +11,20 @@
 //	GET  /v1/designspace Table I metadata and the serving model's shape
 //	GET  /healthz        liveness + model info + cache stats
 //	GET  /metrics        Prometheus text: request counts, latency
-//	                     histogram, cache hit rate, saturation
+//	                     histogram, cache hit rate, saturation, plus the
+//	                     process-wide sim/experiment series
 //	POST /v1/reload      re-read -model and hot-swap it, zero downtime
+//
+// With -debug, introspection endpoints are mounted as well: net/http/pprof
+// under /debug/pprof/, an expvar-style snapshot at /debug/vars, and a
+// Chrome trace_event snapshot of live request spans at /debug/trace.
 //
 // Usage:
 //
 //	adaptd [-addr :8080] [-model adaptd.model] [-counter-set advanced|basic]
 //	       [-quantized] [-train-scale test|default] [-cache 4096]
-//	       [-max-inflight 64] [-timeout 5s] [-max-body N]
+//	       [-max-inflight 64] [-timeout 5s] [-max-body N] [-debug]
+//	       [-log-json] [-log-level info]
 //	       [-loadgen] [-loadgen-requests N] [-loadgen-conc N]
 //	       [-loadgen-pool N] [-seed N]
 //
@@ -32,7 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -43,12 +49,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("adaptd: ")
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		modelPath  = flag.String("model", "adaptd.model", "predictor file: loaded if present, else trained and saved")
@@ -59,6 +64,9 @@ func main() {
 		maxInfl    = flag.Int("max-inflight", 64, "concurrent predicts before 429 backpressure")
 		timeout    = flag.Duration("timeout", 5*time.Second, "per-request deadline")
 		maxBody    = flag.Int64("max-body", 1<<20, "request body byte limit")
+		debug      = flag.Bool("debug", false, "mount /debug/pprof/, /debug/vars and /debug/trace")
+		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		loadgen    = flag.Bool("loadgen", false, "boot, benchmark the server with seeded load, print a report, exit")
 		lgRequests = flag.Int("loadgen-requests", 2000, "loadgen: total requests")
 		lgConc     = flag.Int("loadgen-conc", 8, "loadgen: concurrent workers")
@@ -67,22 +75,40 @@ func main() {
 	)
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, *logJSON, obs.ParseLevel(*logLevel))
+	die := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+
 	set := counters.Advanced
 	switch *setName {
 	case "advanced":
 	case "basic":
 		set = counters.Basic
 	default:
-		log.Fatalf("unknown -counter-set %q (want advanced or basic)", *setName)
+		die(fmt.Errorf("unknown -counter-set %q (want advanced or basic)", *setName))
 	}
 
-	pred, err := bootPredictor(*modelPath, set, *trainScale)
+	var tracer *obs.Tracer
+	if *debug {
+		tracer = obs.DefaultTracer()
+		tracer.Enable()
+	}
+
+	// The signal context exists before first-boot training so a SIGINT
+	// during the (potentially long) dataset build exits promptly instead of
+	// waiting for training to finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	pred, err := bootPredictor(ctx, logger, *modelPath, set, *trainScale)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	eng, err := serve.NewEngine(pred, *quantized)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	srv := serve.New(eng, serve.Config{
 		ModelPath:   *modelPath,
@@ -91,18 +117,20 @@ func main() {
 		MaxBody:     *maxBody,
 		Timeout:     *timeout,
 		MaxInflight: *maxInfl,
+		Debug:       *debug,
+		Tracer:      tracer,
 	})
 	mode := "float64"
 	if *quantized {
 		mode = "8-bit quantized"
 	}
-	log.Printf("serving %s model (%s counters, %d weights, dim %d)",
-		mode, eng.Set(), eng.WeightCount(), eng.Dim())
+	logger.Info("serving model", "mode", mode, "counters", eng.Set().String(),
+		"weights", eng.WeightCount(), "dim", eng.Dim(), "debug", *debug)
 
 	if *loadgen {
 		// Loadgen binds its own loopback port: it benchmarks the serving
 		// stack in-process rather than exposing -addr.
-		runLoadgen(srv, *lgRequests, *lgConc, *lgPool, *seed)
+		runLoadgen(logger, srv, *lgRequests, *lgConc, *lgPool, *seed)
 		return
 	}
 
@@ -113,30 +141,29 @@ func main() {
 		ReadTimeout:       *timeout + 5*time.Second,
 		WriteTimeout:      *timeout + 5*time.Second,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		die(err)
 	case <-ctx.Done():
 	}
-	log.Printf("signal received; draining connections...")
+	logger.Info("signal received; draining connections")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		log.Fatalf("shutdown: %v", err)
+		die(fmt.Errorf("shutdown: %w", err))
 	}
-	log.Printf("shut down cleanly (cache hit rate %.1f%%)", 100*srv.HitRate())
+	logger.Info("shut down cleanly", "cacheHitRate", fmt.Sprintf("%.1f%%", 100*srv.HitRate()))
 }
 
 // bootPredictor loads the model file if it exists; otherwise it trains one
-// through the experiment harness at the requested scale and saves it.
-func bootPredictor(path string, set counters.Set, scaleName string) (*core.Predictor, error) {
+// through the experiment harness at the requested scale (cancellable via
+// ctx) and saves it.
+func bootPredictor(ctx context.Context, logger *slog.Logger, path string, set counters.Set, scaleName string) (*core.Predictor, error) {
 	if f, err := os.Open(path); err == nil {
 		defer f.Close()
 		pred, err := core.LoadPredictor(f)
@@ -146,7 +173,7 @@ func bootPredictor(path string, set counters.Set, scaleName string) (*core.Predi
 		if pred.Set != set {
 			return nil, fmt.Errorf("model %s was trained on the %q counter set but -counter-set is %q; retrain or switch the flag", path, pred.Set, set)
 		}
-		log.Printf("loaded predictor from %s", path)
+		logger.Info("loaded predictor", "path", path)
 		return pred, nil
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("opening %s: %w", path, err)
@@ -156,13 +183,18 @@ func bootPredictor(path string, set counters.Set, scaleName string) (*core.Predi
 	if scaleName == "default" {
 		sc = experiment.DefaultScale()
 	}
-	log.Printf("no model at %s; training at %s scale (%d programs x %d phases)...",
-		path, scaleName, len(sc.Programs), sc.PhasesPerProgram)
-	ds, err := experiment.BuildDataset(sc)
+	logger.Info("no model; training", "path", path, "scale", scaleName,
+		"programs", len(sc.Programs), "phasesPerProgram", sc.PhasesPerProgram)
+	prog := &obs.Progress{Logger: logger}
+	experiment.SetProgress(func(stage string, done, total int) {
+		prog.Observe(stage, done, total)
+	})
+	defer experiment.SetProgress(nil)
+	ds, err := experiment.BuildDatasetCtx(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
-	pred, err := ds.TrainAll(set)
+	pred, err := ds.TrainAllCtx(ctx, set)
 	if err != nil {
 		return nil, err
 	}
@@ -174,16 +206,17 @@ func bootPredictor(path string, set counters.Set, scaleName string) (*core.Predi
 	if err := pred.Save(f); err != nil {
 		return nil, err
 	}
-	log.Printf("trained and saved predictor to %s (%d weights)", path, pred.WeightCount())
+	logger.Info("trained and saved predictor", "path", path, "weights", pred.WeightCount())
 	return pred, nil
 }
 
 // runLoadgen serves on a local listener and fires the seeded load
 // generator at it, printing the report and the server's own metrics.
-func runLoadgen(srv *serve.Server, requests, conc, pool int, seed uint64) {
+func runLoadgen(logger *slog.Logger, srv *serve.Server, requests, conc, pool int, seed uint64) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go func() { _ = httpSrv.Serve(ln) }()
@@ -196,11 +229,11 @@ func runLoadgen(srv *serve.Server, requests, conc, pool int, seed uint64) {
 		Seed:        seed,
 		Pool:        serve.SyntheticFeatures(eng.Dim(), pool, seed),
 	}
-	log.Printf("loadgen: %d requests, %d workers, %d-vector pool, seed %d",
-		requests, conc, pool, seed)
+	logger.Info("loadgen", "requests", requests, "workers", conc, "pool", pool, "seed", seed)
 	rep, err := lg.Run("http://"+ln.Addr().String(), &http.Client{Timeout: 30 * time.Second})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
 	}
 	fmt.Println(rep)
 	fmt.Printf("server cache hit rate: %.1f%%\n\n", 100*srv.HitRate())

@@ -15,7 +15,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"repro/internal/arch"
@@ -23,12 +22,11 @@ import (
 	"repro/internal/counters"
 	"repro/internal/cpu"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("adaptsim: ")
 	var (
 		program   = flag.String("program", "mcf", "benchmark to run under the controller")
 		intervals = flag.Int("intervals", 20, "monitoring intervals to execute")
@@ -37,10 +35,17 @@ func main() {
 		cadence   = flag.Int("cadence", 0, "if > 0, caches adapt only every Nth reconfiguration")
 		ovScale   = flag.Float64("overhead-scale", 0.02, "reconfiguration overhead scale (1 = paper-absolute)")
 		modelPath = flag.String("model-cache", "", "path to save/load the trained predictor (skips retraining)")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, *logJSON, obs.ParseLevel(*logLevel))
+	die := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 	if !trace.IsBenchmark(*program) {
-		log.Fatalf("unknown benchmark %q (choose from %v)", *program, trace.Benchmarks())
+		die(fmt.Errorf("unknown benchmark %q (choose from %v)", *program, trace.Benchmarks()))
 	}
 	set := counters.Advanced
 	if *setName == "basic" {
@@ -67,42 +72,47 @@ func main() {
 			pred, err = core.LoadPredictor(f)
 			f.Close()
 			if err != nil {
-				log.Fatalf("loading cached model %s: %v (delete it to retrain)", *modelPath, err)
+				die(fmt.Errorf("loading cached model %s: %w (delete it to retrain)", *modelPath, err))
 			}
 			// A cached predictor must match the requested counter set, or
 			// every prediction would be mis-dimensioned (LoadPredictor has
 			// already validated the file against its own declared set).
 			if pred.Set != set {
-				log.Fatalf("cached model %s was trained on the %q counter set but -counter-set is %q; delete the cache or pass -counter-set %s",
-					*modelPath, pred.Set, set, pred.Set)
+				die(fmt.Errorf("cached model %s was trained on the %q counter set but -counter-set is %q; delete the cache or pass -counter-set %s",
+					*modelPath, pred.Set, set, pred.Set))
 			}
-			log.Printf("loaded trained predictor from %s", *modelPath)
+			logger.Info("loaded trained predictor", "path", *modelPath)
 		case !errors.Is(err, os.ErrNotExist):
-			log.Fatalf("opening model cache %s: %v", *modelPath, err)
+			die(fmt.Errorf("opening model cache %s: %w", *modelPath, err))
 		}
 	}
 	if pred == nil {
-		log.Printf("building training dataset (%d programs x %d phases)...", len(progs), sc.PhasesPerProgram)
+		logger.Info("building training dataset", "programs", len(progs), "phasesPerProgram", sc.PhasesPerProgram)
+		prog := &obs.Progress{Logger: logger}
+		experiment.SetProgress(func(stage string, done, total int) {
+			prog.Observe(stage, done, total)
+		})
 		ds, err := experiment.BuildDataset(sc)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
-		log.Printf("training predictor on %s counters...", set)
+		experiment.SetProgress(nil)
+		logger.Info("training predictor", "counters", set.String())
 		pred, err = ds.TrainAll(set)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		bestStatic = ds.BestStatic
 		if *modelPath != "" {
 			f, err := os.Create(*modelPath)
 			if err != nil {
-				log.Fatal(err)
+				die(err)
 			}
 			if err := pred.Save(f); err != nil {
-				log.Fatal(err)
+				die(err)
 			}
 			f.Close()
-			log.Printf("saved trained predictor to %s", *modelPath)
+			logger.Info("saved trained predictor", "path", *modelPath)
 		}
 	}
 
@@ -119,19 +129,19 @@ func main() {
 	}
 	ctl, err := core.NewController(pred, opts)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 
 	g, err := trace.NewGenerator(*program, 0)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	src := &phaseWalker{program: *program, gen: g, perPhase: max(1, *intervals/trace.PhasesPerProgram**ivInsts)}
 
-	log.Printf("running %s for %d intervals of %d instructions", *program, *intervals, *ivInsts)
+	logger.Info("running controller", "program", *program, "intervals", *intervals, "intervalInsts", *ivInsts)
 	rep, err := ctl.Run(src, *intervals)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	for _, r := range rep.Records {
 		tag := " "
@@ -156,11 +166,11 @@ func main() {
 	src2 := &phaseWalker{program: *program, gen: g2, perPhase: src.perPhase}
 	sim, err := cpu.New(bestStatic)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	res, err := sim.Run(src2, *intervals**ivInsts, cpu.Options{})
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	fmt.Printf("best static (%v):\n  efficiency %.3e ips^3/W\n", bestStatic, res.Efficiency)
 	if res.Efficiency > 0 {

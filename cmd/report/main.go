@@ -6,12 +6,16 @@
 //
 //	report [-scale test|default] [-programs mcf,swim,...] [-phases N]
 //	       [-interval N] [-uniform N] [-skip-slow]
+//	       [-trace out.json] [-log-json] [-log-level info]
+//
+// Tables and figures go to stdout; logs (structured, via internal/obs) go
+// to stderr. With -trace the run's span tree is written as Chrome
+// trace_event JSON (open with chrome://tracing or ui.perfetto.dev).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 	"time"
@@ -20,13 +24,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/render"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("report: ")
 	var (
 		scaleName = flag.String("scale", "default", "test or default scale preset")
 		programs  = flag.String("programs", "", "comma-separated benchmark subset (default: preset)")
@@ -34,8 +37,53 @@ func main() {
 		interval  = flag.Int("interval", 0, "instructions per phase interval (default: preset)")
 		uniform   = flag.Int("uniform", 0, "shared uniform samples (default: preset)")
 		skipSlow  = flag.Bool("skip-slow", false, "skip Figure 1 and Table IV (the slowest experiments)")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, *logJSON, obs.ParseLevel(*logLevel))
+
+	tr := obs.DefaultTracer()
+	if *tracePath != "" {
+		tr.Enable()
+	}
+	writeTrace := func() {
+		if *tracePath == "" {
+			return
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			logger.Error("creating trace file", "err", err)
+			return
+		}
+		defer f.Close()
+		if err := tr.WriteChrome(f); err != nil {
+			logger.Error("writing trace", "err", err)
+			return
+		}
+		logger.Info("trace written", "path", *tracePath, "spans", tr.SpanCount())
+	}
+	die := func(err error) {
+		logger.Error("fatal", "err", err)
+		writeTrace()
+		os.Exit(1)
+	}
+
+	// Live progress/ETA for the long stages, annotated with the memo hit
+	// rate so a stalled-looking run is distinguishable from a cache-warm one.
+	prog := &obs.Progress{Logger: logger}
+	experiment.SetProgress(func(stage string, done, total int) {
+		hits, sims := experiment.MemoStats()
+		rate := 0.0
+		if hits+sims > 0 {
+			rate = float64(hits) / float64(hits+sims)
+		}
+		prog.Observe(stage, done, total,
+			"sims", sims, "memoHitRate", fmt.Sprintf("%.2f", rate))
+	})
+	defer experiment.SetProgress(nil)
 
 	sc := experiment.DefaultScale()
 	if *scaleName == "test" {
@@ -56,25 +104,27 @@ func main() {
 	}
 
 	start := time.Now()
-	log.Printf("building dataset: %d programs x %d phases, %d-inst intervals, %d shared configs",
-		len(sc.Programs), sc.PhasesPerProgram, sc.IntervalInsts, sc.UniformSamples)
+	logger.Info("building dataset",
+		"programs", len(sc.Programs), "phasesPerProgram", sc.PhasesPerProgram,
+		"intervalInsts", sc.IntervalInsts, "sharedConfigs", sc.UniformSamples)
 	ds, err := experiment.BuildDataset(sc)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
-	log.Printf("dataset built: %d simulations in %v", ds.SimCount(), time.Since(start).Round(time.Second))
+	logger.Info("dataset built", "simulations", ds.SimCount(),
+		"elapsed", time.Since(start).Round(time.Second).String())
 
 	fmt.Println(ds.TableIII().Render())
 
-	log.Printf("evaluating model (LOOCV, advanced counters)")
+	logger.Info("evaluating model", "method", "LOOCV", "counters", "advanced")
 	adv, err := ds.EvaluateModel(counters.Advanced)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
-	log.Printf("evaluating model (LOOCV, basic counters)")
+	logger.Info("evaluating model", "method", "LOOCV", "counters", "basic")
 	basic, err := ds.EvaluateModel(counters.Basic)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	suite := ds.Suite(adv, basic)
 	fmt.Println(suite.Render())
@@ -97,7 +147,7 @@ func main() {
 
 	fig7, err := ds.Figure7(adv)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	fmt.Println(fig7.Render())
 
@@ -117,7 +167,7 @@ func main() {
 	if len(fig3Phases) > 0 {
 		fig3, err := ds.Figure3(fig3Phases)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Println(fig3.Render())
 	}
@@ -131,7 +181,7 @@ func main() {
 
 	rows, err := core.Figure9(power.New(arch.Profiling()))
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	fmt.Println("Figure 9: profiling energy overheads (% of cache energy)")
 	for _, r := range rows {
@@ -144,25 +194,25 @@ func main() {
 	for _, set := range []counters.Set{counters.Basic, counters.Advanced} {
 		st, err := ds.StorageAnalysis(set)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Print(st.Render())
 	}
 	fmt.Println()
 
 	if !*skipSlow {
-		log.Printf("running Table IV sampling sweep")
+		logger.Info("running Table IV sampling sweep")
 		t4, err := ds.TableIV([]int{4, 16, 64, 256}, 12)
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Println(t4.Render())
 
-		log.Printf("running Figure 1 sweeps")
+		logger.Info("running Figure 1 sweeps")
 		for _, prog := range []string{"gap", "applu", "apsi"} {
 			f1, err := experiment.Figure1(prog, 1, sc.IntervalInsts, sc.WarmupInsts)
 			if err != nil {
-				log.Fatal(err)
+				die(err)
 			}
 			fmt.Println(f1.Render())
 			var iq8, iq4 []float64
@@ -175,6 +225,8 @@ func main() {
 		}
 	}
 
-	log.Printf("total time %v", time.Since(start).Round(time.Second))
-	os.Exit(0)
+	hits, sims := experiment.MemoStats()
+	logger.Info("done", "elapsed", time.Since(start).Round(time.Second).String(),
+		"simulations", sims, "memoHits", hits)
+	writeTrace()
 }

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -35,12 +36,22 @@ type Predictor struct {
 // phases. Each phase contributes one example per good configuration, per
 // parameter.
 func TrainPredictor(set counters.Set, phases []PhaseExample, opts softmax.Options) (*Predictor, error) {
+	return TrainPredictorCtx(context.Background(), set, phases, opts)
+}
+
+// TrainPredictorCtx is TrainPredictor with cooperative cancellation,
+// checked between the fourteen per-parameter trainings (each is a full
+// conjugate-gradient run, so this is the useful granularity).
+func TrainPredictorCtx(ctx context.Context, set counters.Set, phases []PhaseExample, opts softmax.Options) (*Predictor, error) {
 	if len(phases) == 0 {
 		return nil, errors.New("core: no training phases")
 	}
 	d := counters.Dim(set)
 	p := &Predictor{Set: set}
 	for param := arch.Param(0); param < arch.NumParams; param++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: training cancelled: %w", err)
+		}
 		var exs []softmax.Example
 		for i, ph := range phases {
 			if len(ph.Features) != d {

@@ -1,0 +1,15 @@
+package cpu
+
+import "repro/internal/obs"
+
+// Process-wide simulation volume counters (obs.DefaultRegistry). They are
+// pure telemetry: nothing in the simulator reads them, so they cannot
+// perturb results.
+var (
+	obsRuns = obs.DefaultRegistry().Counter("repro_sim_runs_total",
+		"Completed cycle-level simulation runs.")
+	obsInsts = obs.DefaultRegistry().Counter("repro_sim_instructions_total",
+		"Correct-path instructions committed across all runs.")
+	obsCycles = obs.DefaultRegistry().Counter("repro_sim_cycles_total",
+		"Cycles simulated across all runs.")
+)

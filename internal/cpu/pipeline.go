@@ -151,6 +151,9 @@ func (s *Sim) Run(src Source, n int, opts Options) (*Result, error) {
 	if st.cnt != nil {
 		st.res.Counters = st.cnt.finish(s, &st.res)
 	}
+	obsRuns.Inc()
+	obsInsts.Add(st.res.Committed)
+	obsCycles.Add(st.res.Cycles)
 	out := st.res
 	return &out, nil
 }

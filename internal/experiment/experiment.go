@@ -13,14 +13,17 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"strconv"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -148,6 +151,15 @@ type Dataset struct {
 
 // BuildDataset runs the full data-gathering pipeline at the given scale.
 func BuildDataset(sc Scale) (*Dataset, error) {
+	return BuildDatasetCtx(context.Background(), sc)
+}
+
+// BuildDatasetCtx is BuildDataset with cooperative cancellation: the
+// pipeline checks ctx between phases (the per-phase granularity keeps a
+// SIGINT during adaptd's first-boot training prompt without threading ctx
+// into the simulator's inner loop). A cancelled build returns ctx.Err()
+// wrapped with the stage it was in.
+func BuildDatasetCtx(ctx context.Context, sc Scale) (*Dataset, error) {
 	sc = sc.withDefaults()
 	ds := &Dataset{
 		Scale:         sc,
@@ -160,18 +172,27 @@ func BuildDataset(sc Scale) (*Dataset, error) {
 		ProfileRes:    map[PhaseID]*cpu.Result{},
 	}
 
+	tr := obs.DefaultTracer()
+	root := tr.Start("experiment.build-dataset").
+		SetArg("programs", strconv.Itoa(len(sc.Programs))).
+		SetArg("phases-per-program", strconv.Itoa(sc.PhasesPerProgram))
+	defer root.Finish()
+
 	// Phase list and traces.
+	sp := tr.Start("tracegen")
 	for _, prog := range sc.Programs {
 		for ph := 0; ph < sc.PhasesPerProgram; ph++ {
 			id := PhaseID{prog, ph}
 			g, err := trace.NewGenerator(prog, ph)
 			if err != nil {
+				sp.Finish()
 				return nil, err
 			}
 			ds.traces[id] = g.Interval(sc.IntervalInsts)
 			ds.Phases = append(ds.Phases, id)
 		}
 	}
+	sp.Finish()
 
 	// Stage 1: shared uniform sample (always includes the paper's
 	// published baseline so comparisons have a common anchor).
@@ -189,29 +210,55 @@ func BuildDataset(sc Scale) (*Dataset, error) {
 	}
 
 	// Simulate shared configs on every phase; refine per phase.
-	for _, id := range ds.Phases {
+	sp = tr.Start("search")
+	for i, id := range ds.Phases {
+		if err := ctx.Err(); err != nil {
+			sp.Finish()
+			return nil, fmt.Errorf("experiment: search cancelled: %w", err)
+		}
+		psp := tr.Start("search " + id.String())
 		if err := ds.searchPhase(id, rng); err != nil {
+			psp.Finish()
+			sp.Finish()
 			return nil, fmt.Errorf("experiment: phase %s: %w", id, err)
 		}
+		psp.Finish()
+		reportProgress("search", i+1, len(ds.Phases))
 	}
+	sp.Finish()
 
+	sp = tr.Start("best-static")
 	ds.computeBestStatic()
+	sp.Finish()
+	sp = tr.Start("good-sets")
 	ds.computeGoodSets()
+	sp.Finish()
 
 	// Profile every phase on the profiling configuration.
-	for _, id := range ds.Phases {
+	sp = tr.Start("profile")
+	for i, id := range ds.Phases {
+		if err := ctx.Err(); err != nil {
+			sp.Finish()
+			return nil, fmt.Errorf("experiment: profiling cancelled: %w", err)
+		}
+		psp := tr.Start("profile " + id.String())
 		res, err := ds.simulate(id, arch.Profiling(), cpu.Options{
 			Collect:     true,
 			SampledSets: sc.SampledSets,
 			WarmupInsts: sc.WarmupInsts,
 		}, false)
 		if err != nil {
+			psp.Finish()
+			sp.Finish()
 			return nil, fmt.Errorf("experiment: profiling %s: %w", id, err)
 		}
+		psp.Finish()
 		ds.ProfileRes[id] = res
 		ds.FeaturesAdv[id] = counters.Features(res, counters.Advanced)
 		ds.FeaturesBasic[id] = counters.Features(res, counters.Basic)
+		reportProgress("profile", i+1, len(ds.Phases))
 	}
+	sp.Finish()
 	return ds, nil
 }
 
@@ -257,6 +304,7 @@ func (ds *Dataset) searchPhase(id PhaseID, rng *rand.Rand) error {
 func (ds *Dataset) Result(id PhaseID, cfg arch.Config) (*cpu.Result, error) {
 	if m := ds.results[id]; m != nil {
 		if e, ok := m[cfg]; ok {
+			obsMemoHits.Inc()
 			return e.res, nil
 		}
 	}
@@ -268,8 +316,10 @@ func (ds *Dataset) Result(id PhaseID, cfg arch.Config) (*cpu.Result, error) {
 func (ds *Dataset) SampleResult(id PhaseID, cfg arch.Config) (*cpu.Result, error) {
 	if m := ds.results[id]; m != nil {
 		if e, ok := m[cfg]; ok {
+			obsMemoHits.Inc()
 			if !e.inSample {
 				e.inSample = true
+				obsSampleConfigs.Inc()
 				ds.updateBest(id, cfg, e.res)
 			}
 			return e.res, nil
@@ -304,6 +354,7 @@ func (ds *Dataset) simulate(id PhaseID, cfg arch.Config, opts cpu.Options, inSam
 	if err != nil {
 		return nil, err
 	}
+	obsSims.Inc()
 	if !opts.Collect { // only cache the measurement-mode results
 		m := ds.results[id]
 		if m == nil {
@@ -312,6 +363,7 @@ func (ds *Dataset) simulate(id PhaseID, cfg arch.Config, opts cpu.Options, inSam
 		}
 		m[cfg] = &entry{res: res, inSample: inSample}
 		if inSample {
+			obsSampleConfigs.Inc()
 			ds.updateBest(id, cfg, res)
 		}
 	}

@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/altmodel"
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/counters"
+	"repro/internal/obs"
 	"repro/internal/softmax"
 )
 
@@ -97,13 +99,21 @@ func (ds *Dataset) phaseExamples(set counters.Set, phases []PhaseID) []core.Phas
 // The result is memoised per counter set, since several experiments share
 // it.
 func (ds *Dataset) TrainAll(set counters.Set) (*core.Predictor, error) {
+	return ds.TrainAllCtx(context.Background(), set)
+}
+
+// TrainAllCtx is TrainAll with cooperative cancellation, forwarded to the
+// per-parameter training loop.
+func (ds *Dataset) TrainAllCtx(ctx context.Context, set counters.Set) (*core.Predictor, error) {
 	if ds.trained == nil {
 		ds.trained = map[counters.Set]*core.Predictor{}
 	}
 	if p, ok := ds.trained[set]; ok {
 		return p, nil
 	}
-	p, err := core.TrainPredictor(set, ds.phaseExamples(set, ds.Phases), TrainOptions())
+	sp := obs.DefaultTracer().Start("experiment.train " + set.String())
+	defer sp.Finish()
+	p, err := core.TrainPredictorCtx(ctx, set, ds.phaseExamples(set, ds.Phases), TrainOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -115,8 +125,23 @@ func (ds *Dataset) TrainAll(set counters.Set) (*core.Predictor, error) {
 // each program, a predictor trained on all other programs predicts each of
 // its phases.
 func (ds *Dataset) EvaluateModel(set counters.Set) (*Evaluation, error) {
+	return ds.EvaluateModelCtx(context.Background(), set)
+}
+
+// EvaluateModelCtx is EvaluateModel with cooperative cancellation, checked
+// per fold and forwarded into training.
+func (ds *Dataset) EvaluateModelCtx(ctx context.Context, set counters.Set) (*Evaluation, error) {
+	tr := obs.DefaultTracer()
+	stage := "loocv " + set.String()
+	sp := tr.Start("experiment." + stage)
+	defer sp.Finish()
 	ev := &Evaluation{Set: set, Predicted: map[PhaseID]arch.Config{}}
-	for _, held := range ds.Programs() {
+	progs := ds.Programs()
+	for i, held := range progs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiment: LOOCV cancelled: %w", err)
+		}
+		fsp := tr.Start("fold " + held)
 		var trainPhases []PhaseID
 		for _, id := range ds.Phases {
 			if id.Program != held {
@@ -124,15 +149,19 @@ func (ds *Dataset) EvaluateModel(set counters.Set) (*Evaluation, error) {
 			}
 		}
 		if len(trainPhases) == 0 {
+			fsp.Finish()
 			return nil, fmt.Errorf("experiment: no training phases when holding out %s", held)
 		}
-		pred, err := core.TrainPredictor(set, ds.phaseExamples(set, trainPhases), TrainOptions())
+		pred, err := core.TrainPredictorCtx(ctx, set, ds.phaseExamples(set, trainPhases), TrainOptions())
 		if err != nil {
+			fsp.Finish()
 			return nil, fmt.Errorf("experiment: LOOCV fold %s: %w", held, err)
 		}
 		for _, id := range ds.ProgramPhases(held) {
 			ev.Predicted[id] = pred.Predict(ds.features(set, id))
 		}
+		fsp.Finish()
+		reportProgress(stage, i+1, len(progs))
 	}
 	return ev, nil
 }

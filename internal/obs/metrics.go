@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64, safe for concurrent use
+// with no locking on the hot path.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float64, stored as atomic bits.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) { addFloatBits(&g.bits, delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// addFloatBits atomically adds v to a float64 stored as uint64 bits.
+func addFloatBits(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-bucket histogram with Prometheus semantics: bucket
+// i counts observations <= bounds[i], with an implicit +Inf bucket last.
+// Observations are lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	addFloatBits(&h.sum, v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// CounterVec is a family of counters keyed by label values (e.g. requests
+// by path and status code). Children are created on first use and cached;
+// lookups take a read lock, increments are atomic.
+type CounterVec struct {
+	labels   []string
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label values (one per
+// declared label, in order).
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: counter vec got %d label values, want %d", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.RLock()
+	c := v.children[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[key]; c == nil {
+		c = &Counter{}
+		v.children[key] = c
+	}
+	return c
+}
+
+// metricKind discriminates the exposition TYPE of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+// family is one named metric in a registry.
+type family struct {
+	name, help string
+	kind       metricKind
+
+	counter *Counter
+	vec     *CounterVec
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// Registry holds named metric families and renders them in the
+// Prometheus text exposition format with stable (sorted) ordering.
+// Registration is idempotent: re-registering a name returns the existing
+// metric; registering it as a different kind panics.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry. Most code should register into
+// DefaultRegistry instead; per-instance registries suit servers whose
+// series must not be shared (internal/serve).
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// register inserts fam, or returns the existing family with that name
+// after checking the kind matches.
+func (r *Registry) register(fam *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.families[fam.name]; ok {
+		if old.kind != fam.kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", fam.name, fam.kind, old.kind))
+		}
+		return old
+	}
+	r.families[fam.name] = fam
+	return fam
+}
+
+// Counter registers (or fetches) a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(&family{name: name, help: help, kind: kindCounter, counter: &Counter{}}).counter
+}
+
+// CounterVec registers (or fetches) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	fam := r.register(&family{
+		name: name, help: help, kind: kindCounter,
+		vec: &CounterVec{labels: labels, children: map[string]*Counter{}},
+	})
+	if fam.vec == nil {
+		panic(fmt.Sprintf("obs: metric %s re-registered as a vec (was plain)", name))
+	}
+	return fam.vec
+}
+
+// Gauge registers (or fetches) a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(&family{name: name, help: help, kind: kindGauge, gauge: &Gauge{}}).gauge
+}
+
+// GaugeFunc registers a gauge evaluated at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: kindGauge, gaugeFn: fn})
+}
+
+// Histogram registers (or fetches) a histogram with the given bucket
+// upper bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	fam := r.register(&family{
+		name: name, help: help, kind: kindHistogram,
+		hist: &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)},
+	})
+	return fam.hist
+}
+
+// sorted returns the registry's families in name order.
+func (r *Registry) sorted() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.families))
+	for _, fam := range r.families {
+		out = append(out, fam)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// escapeHelp escapes a HELP line per the exposition format.
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}
+
+// WriteText renders the Prometheus text exposition: families sorted by
+// name, vec children sorted by label values, histogram buckets cumulative
+// with a trailing +Inf, sum and count.
+func (r *Registry) WriteText(w io.Writer) {
+	for _, fam := range r.sorted() {
+		fmt.Fprintf(w, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.kind)
+		switch {
+		case fam.counter != nil:
+			fmt.Fprintf(w, "%s %d\n", fam.name, fam.counter.Value())
+		case fam.vec != nil:
+			writeVec(w, fam.name, fam.vec)
+		case fam.gauge != nil:
+			fmt.Fprintf(w, "%s %g\n", fam.name, fam.gauge.Value())
+		case fam.gaugeFn != nil:
+			fmt.Fprintf(w, "%s %g\n", fam.name, fam.gaugeFn())
+		case fam.hist != nil:
+			writeHist(w, fam.name, fam.hist)
+		}
+	}
+}
+
+func writeVec(w io.Writer, name string, v *CounterVec) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var b strings.Builder
+		for i, val := range strings.Split(k, "\x00") {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `%s="%s"`, v.labels[i], escapeLabel(val))
+		}
+		fmt.Fprintf(w, "%s{%s} %d\n", name, b.String(), v.children[k].Value())
+	}
+	v.mu.RUnlock()
+}
+
+func writeHist(w io.Writer, name string, h *Histogram) {
+	var cum uint64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, ub, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
+// Text returns WriteText's output as a string.
+func (r *Registry) Text() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// JSON returns an expvar-style snapshot of every family: counters and
+// gauges as numbers, vecs as {"label=value,...": n} objects, histograms
+// as {count, sum, buckets} with cumulative bucket counts.
+func (r *Registry) JSON() ([]byte, error) {
+	out := map[string]any{}
+	for _, fam := range r.sorted() {
+		switch {
+		case fam.counter != nil:
+			out[fam.name] = fam.counter.Value()
+		case fam.vec != nil:
+			v := fam.vec
+			m := map[string]uint64{}
+			v.mu.RLock()
+			for k, c := range v.children {
+				parts := strings.Split(k, "\x00")
+				for i := range parts {
+					parts[i] = v.labels[i] + "=" + parts[i]
+				}
+				m[strings.Join(parts, ",")] = c.Value()
+			}
+			v.mu.RUnlock()
+			out[fam.name] = m
+		case fam.gauge != nil:
+			out[fam.name] = fam.gauge.Value()
+		case fam.gaugeFn != nil:
+			out[fam.name] = fam.gaugeFn()
+		case fam.hist != nil:
+			h := fam.hist
+			buckets := map[string]uint64{}
+			var cum uint64
+			for i, ub := range h.bounds {
+				cum += h.counts[i].Load()
+				buckets[fmt.Sprintf("%g", ub)] = cum
+			}
+			out[fam.name] = map[string]any{
+				"count":   h.Count(),
+				"sum":     h.Sum(),
+				"buckets": buckets,
+			}
+		}
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the full Prometheus text exposition: family
+// ordering (sorted by name), vec child ordering (sorted by label values),
+// HELP and label-value escaping, and histogram le buckets with the
+// trailing +Inf, sum and count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_runs_total", "Runs.").Add(7)
+	r.Gauge("test_temperature", "Degrees.").Set(-2.5)
+	r.GaugeFunc("test_cache_entries", "Entries now.", func() float64 { return 3 })
+
+	v := r.CounterVec("test_requests_total", "Requests by path and code.", "path", "code")
+	v.With("/a", "200").Add(2)
+	v.With("/a", "404").Inc()
+	v.With("/b", "200").Add(5)
+
+	esc := r.CounterVec("test_escape_total", "Weird help \\ with\nnewline", "path")
+	esc.With("he\"llo\\wor\nld").Inc()
+
+	// Binary-exact values so %g output is stable; 0.5 lands in the
+	// le="0.5" bucket (le is inclusive).
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.25, 0.5, 2})
+	for _, x := range []float64{0.125, 0.5, 1, 4} {
+		h.Observe(x)
+	}
+
+	want := `# HELP test_cache_entries Entries now.
+# TYPE test_cache_entries gauge
+test_cache_entries 3
+# HELP test_escape_total Weird help \\ with\nnewline
+# TYPE test_escape_total counter
+test_escape_total{path="he\"llo\\wor\nld"} 1
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.25"} 1
+test_latency_seconds_bucket{le="0.5"} 2
+test_latency_seconds_bucket{le="2"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 5.625
+test_latency_seconds_count 4
+# HELP test_requests_total Requests by path and code.
+# TYPE test_requests_total counter
+test_requests_total{path="/a",code="200"} 2
+test_requests_total{path="/a",code="404"} 1
+test_requests_total{path="/b",code="200"} 5
+# HELP test_runs_total Runs.
+# TYPE test_runs_total counter
+test_runs_total 7
+# HELP test_temperature Degrees.
+# TYPE test_temperature gauge
+test_temperature -2.5
+`
+	if got := r.Text(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// A second render must be byte-identical (stable ordering).
+	if got2 := r.Text(); got2 != r.Text() {
+		t.Error("exposition not stable across renders")
+		_ = got2
+	}
+}
+
+func TestRegistrationIdempotentAndKindChecked(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "X.")
+	c1.Inc()
+	if c2 := r.Counter("x_total", "X again."); c2 != c1 {
+		t.Error("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "wrong kind")
+}
+
+func TestHistogramBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "H.", []float64{1, 10})
+	h.Observe(1)    // le="1" (inclusive)
+	h.Observe(10.5) // +Inf
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	text := r.Text()
+	for _, want := range []string{`h_bucket{le="1"} 1`, `h_bucket{le="10"} 1`, `h_bucket{le="+Inf"} 2`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.").Add(4)
+	r.CounterVec("b_total", "B.", "k").With("v").Inc()
+	r.Histogram("c_seconds", "C.", []float64{1}).Observe(0.5)
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("invalid JSON %s: %v", data, err)
+	}
+	if out["a_total"].(float64) != 4 {
+		t.Errorf("a_total = %v", out["a_total"])
+	}
+	if out["b_total"].(map[string]any)["k=v"].(float64) != 1 {
+		t.Errorf("b_total = %v", out["b_total"])
+	}
+	if out["c_seconds"].(map[string]any)["count"].(float64) != 1 {
+		t.Errorf("c_seconds = %v", out["c_seconds"])
+	}
+}
+
+// TestConcurrentMetricUse hammers every metric kind from many goroutines
+// while rendering — exercised under -race by scripts/verify.sh.
+func TestConcurrentMetricUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	v := r.CounterVec("v_total", "V.", "id")
+	h := r.Histogram("h_seconds", "H.", []float64{0.25, 1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.Add(0.5)
+				v.With(string(rune('a' + w%3))).Inc()
+				h.Observe(float64(i%3) / 2)
+				if i%100 == 0 {
+					_ = r.Text()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8*500 {
+		t.Errorf("counter = %d, want %d", c.Value(), 8*500)
+	}
+	if g.Value() != 8*500*0.5 {
+		t.Errorf("gauge = %v, want %v", g.Value(), 8*500*0.5)
+	}
+	if h.Count() != 8*500 {
+		t.Errorf("histogram count = %d, want %d", h.Count(), 8*500)
+	}
+	var vecTotal uint64
+	for _, id := range []string{"a", "b", "c"} {
+		vecTotal += v.With(id).Value()
+	}
+	if vecTotal != 8*500 {
+		t.Errorf("vec total = %d, want %d", vecTotal, 8*500)
+	}
+}

@@ -1,0 +1,35 @@
+// Package obs is the repository's unified observability layer: a metrics
+// registry (atomic counters, gauges and histograms with Prometheus text
+// exposition), a deterministic span tracer (span ordering and hierarchy
+// are as deterministic as the seeded pipeline that produces them; only
+// wall-clock durations vary run to run), shared structured-logging setup
+// on log/slog, and a throttled progress/ETA reporter for the long
+// experiment runs.
+//
+// Everything is stdlib-only and safe for concurrent use. The simulation,
+// training and serving subsystems register process-wide series into
+// DefaultRegistry and emit spans through DefaultTracer; cmd/report exports
+// the spans as Chrome trace_event JSON (-trace), and cmd/adaptd exposes
+// the registry at /metrics and /debug/vars and the span snapshot at
+// /debug/trace.
+//
+// Determinism contract: span names, arguments, ordering and hierarchy
+// must be derived only from seeded state, never from clocks or
+// durations — Tracer.WriteTree exists so tests can assert two seeded runs
+// produce byte-identical span trees. Durations are attached to spans for
+// the Chrome export but must never flow into memoised experiment results.
+package obs
+
+var (
+	defaultRegistry = NewRegistry()
+	defaultTracer   = NewTracer()
+)
+
+// DefaultRegistry returns the process-wide metrics registry that
+// instrumented packages (cpu, experiment, phase, serve) register into.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// DefaultTracer returns the process-wide tracer. It is disabled until a
+// command opts in (cmd/report -trace, cmd/adaptd -debug); while disabled,
+// Start returns a shared no-op span and costs one atomic load.
+func DefaultTracer() *Tracer { return defaultTracer }

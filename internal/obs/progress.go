@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Progress emits throttled progress/ETA log lines for long multi-stage
+// runs (the ~40-minute report build). ETA is wall-clock and lives only in
+// log output — it never touches memoised experiment results.
+type Progress struct {
+	// Logger receives the lines (required).
+	Logger *slog.Logger
+	// Every is the minimum interval between lines per stage (default 2s).
+	// The final step of a stage always emits.
+	Every time.Duration
+
+	mu     sync.Mutex
+	starts map[string]time.Time
+	last   time.Time
+}
+
+// Observe records that done of total steps of stage are complete and
+// logs a progress line if the stage finished or the throttle interval has
+// elapsed. Extra attrs (e.g. memo hit rate) are appended to the line.
+func (p *Progress) Observe(stage string, done, total int, attrs ...any) {
+	if p.Logger == nil {
+		return
+	}
+	every := p.Every
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	now := time.Now()
+	p.mu.Lock()
+	if p.starts == nil {
+		p.starts = map[string]time.Time{}
+	}
+	start, ok := p.starts[stage]
+	if !ok {
+		start = now
+		p.starts[stage] = now
+	}
+	finished := done >= total
+	if !finished && now.Sub(p.last) < every {
+		p.mu.Unlock()
+		return
+	}
+	p.last = now
+	p.mu.Unlock()
+
+	args := []any{
+		slog.String("stage", stage),
+		slog.Int("done", done),
+		slog.Int("total", total),
+	}
+	if total > 0 {
+		args = append(args, slog.Int("pct", 100*done/total))
+	}
+	if done > 0 && !finished {
+		eta := time.Duration(float64(now.Sub(start)) / float64(done) * float64(total-done))
+		args = append(args, slog.Duration("eta", eta.Round(time.Second)))
+	}
+	args = append(args, attrs...)
+	p.Logger.Info("progress", args...)
+}

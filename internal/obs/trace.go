@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSpanLimit caps the spans a tracer retains; starts beyond it are
+// counted as dropped rather than growing memory without bound (adaptd's
+// per-request spans under -debug would otherwise accumulate forever).
+const DefaultSpanLimit = 1 << 16
+
+// Span is one traced region. Its name, arguments, ordering and hierarchy
+// are deterministic for a seeded run; only the wall-clock duration varies,
+// and the duration must never flow into memoised experiment results.
+type Span struct {
+	tracer   *Tracer
+	id       int
+	parent   int // index into tracer.spans, -1 for roots
+	name     string
+	args     [][2]string
+	detached bool
+	start    time.Time
+	dur      time.Duration
+	finished bool
+}
+
+// noopSpan is returned while the tracer is disabled; all methods no-op.
+var noopSpan = &Span{}
+
+// SetArg attaches a key=value annotation. Values must be deterministic
+// (counts, names, configs — never times or durations). Returns the span
+// for chaining.
+func (s *Span) SetArg(k, v string) *Span {
+	if s.tracer == nil {
+		return s
+	}
+	s.tracer.mu.Lock()
+	s.args = append(s.args, [2]string{k, v})
+	s.tracer.mu.Unlock()
+	return s
+}
+
+// Finish closes the span, recording its wall-clock duration and popping
+// it from the tracer's open-span stack.
+func (s *Span) Finish() {
+	if s.tracer == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.dur = time.Since(s.start)
+	if s.detached {
+		return
+	}
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = append(t.stack[:i], t.stack[i+1:]...)
+			break
+		}
+	}
+}
+
+// Tracer records spans. Disabled by default: Start then costs one atomic
+// load and returns a shared no-op span. The sim -> train pipeline is
+// single-goroutine, so implicit parenting via an open-span stack yields a
+// deterministic tree; concurrent callers (the serving handlers) use
+// StartDetached, which never touches the stack.
+type Tracer struct {
+	enabled atomic.Bool
+	limit   int
+
+	mu      sync.Mutex
+	epoch   time.Time
+	spans   []*Span
+	stack   []*Span
+	dropped uint64
+}
+
+// NewTracer returns a disabled tracer with the default span limit.
+func NewTracer() *Tracer { return &Tracer{limit: DefaultSpanLimit} }
+
+// Enable turns span recording on (idempotent).
+func (t *Tracer) Enable() {
+	t.mu.Lock()
+	if t.epoch.IsZero() {
+		t.epoch = time.Now()
+	}
+	t.mu.Unlock()
+	t.enabled.Store(true)
+}
+
+// Disable turns span recording off; recorded spans are retained.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// Reset discards all recorded spans and restarts the epoch.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.spans, t.stack, t.dropped = nil, nil, 0
+	t.epoch = time.Now()
+	t.mu.Unlock()
+}
+
+// start records a new span with the given detachment.
+func (t *Tracer) start(name string, detached bool) *Span {
+	if !t.enabled.Load() {
+		return noopSpan
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.limit {
+		t.dropped++
+		return noopSpan
+	}
+	s := &Span{tracer: t, id: len(t.spans), parent: -1, name: name, detached: detached, start: time.Now()}
+	if !detached && len(t.stack) > 0 {
+		s.parent = t.stack[len(t.stack)-1].id
+	}
+	t.spans = append(t.spans, s)
+	if !detached {
+		t.stack = append(t.stack, s)
+	}
+	return s
+}
+
+// Start opens a span as a child of the innermost open span (pipeline
+// stages; single-goroutine callers only).
+func (t *Tracer) Start(name string) *Span { return t.start(name, false) }
+
+// StartDetached opens a root span that never joins the parent stack —
+// safe for concurrent callers like HTTP handlers.
+func (t *Tracer) StartDetached(name string) *Span { return t.start(name, true) }
+
+// SpanCount returns the number of recorded spans.
+func (t *Tracer) SpanCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns the number of spans discarded over the limit.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// chromeEvent is one Chrome trace_event ("X" = complete span; timestamps
+// and durations in microseconds).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome writes the recorded spans as Chrome trace_event JSON
+// (open with chrome://tracing or https://ui.perfetto.dev). Stack spans
+// render on tid 1, detached (request) spans on tid 2; unfinished spans
+// extend to the snapshot instant.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	t.mu.Lock()
+	now := time.Now()
+	events := make([]chromeEvent, 0, len(t.spans)+1)
+	for _, s := range t.spans {
+		dur := s.dur
+		if !s.finished {
+			dur = now.Sub(s.start)
+		}
+		ev := chromeEvent{
+			Name: s.name,
+			Ph:   "X",
+			Ts:   float64(s.start.Sub(t.epoch).Nanoseconds()) / 1e3,
+			Dur:  float64(dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  1,
+		}
+		if s.detached {
+			ev.Tid = 2
+		}
+		if len(s.args) > 0 {
+			ev.Args = map[string]string{}
+			for _, kv := range s.args {
+				ev.Args[kv[0]] = kv[1]
+			}
+		}
+		events = append(events, ev)
+	}
+	if t.dropped > 0 {
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("obs: %d spans dropped over limit", t.dropped),
+			Ph:   "X", Ts: float64(now.Sub(t.epoch).Nanoseconds()) / 1e3, Pid: 1, Tid: 1,
+		})
+	}
+	t.mu.Unlock()
+
+	data, err := json.Marshal(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteTree writes the span hierarchy as indented text with names and
+// args but no timestamps or durations — byte-identical across seeded runs
+// of the same workload, which the determinism tests assert.
+func (t *Tracer) WriteTree(w io.Writer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	children := make(map[int][]*Span, len(t.spans))
+	var roots []*Span
+	for _, s := range t.spans {
+		if s.parent < 0 {
+			roots = append(roots, s)
+		} else {
+			children[s.parent] = append(children[s.parent], s)
+		}
+	}
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		fmt.Fprint(w, strings.Repeat("  ", depth), s.name)
+		for _, kv := range s.args {
+			fmt.Fprintf(w, " %s=%s", kv[0], kv[1])
+		}
+		fmt.Fprintln(w)
+		for _, c := range children[s.id] {
+			walk(c, depth+1)
+		}
+	}
+	for _, s := range roots {
+		walk(s, 0)
+	}
+	if t.dropped > 0 {
+		fmt.Fprintf(w, "(dropped %d spans)\n", t.dropped)
+	}
+}
+
+// Tree returns WriteTree's output as a string.
+func (t *Tracer) Tree() string {
+	var b strings.Builder
+	t.WriteTree(&b)
+	return b.String()
+}

@@ -10,8 +10,18 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
+)
+
+// Process-wide detector telemetry (obs.DefaultRegistry), aggregated over
+// every Detector instance; per-detector numbers stay in Intervals/Changes.
+var (
+	obsIntervals = obs.DefaultRegistry().Counter("repro_phase_intervals_total",
+		"Intervals closed by online phase-change detectors.")
+	obsChanges = obs.DefaultRegistry().Counter("repro_phase_changes_total",
+		"Phase changes flagged by online phase-change detectors.")
 )
 
 // BBVDim is the dimensionality basic-block vectors are hashed down to,
@@ -196,8 +206,10 @@ func (d *Detector) EndInterval() bool {
 		d.bits[i] = 0
 	}
 	d.primed = true
+	obsIntervals.Inc()
 	if changed {
 		d.Changes++
+		obsChanges.Inc()
 	}
 	return changed
 }

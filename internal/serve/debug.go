@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// debugHandler mounts the introspection endpoints next to the API mux.
+// They sit outside the per-request timeout: CPU profiles and execution
+// traces legitimately run for tens of seconds.
+func (s *Server) debugHandler(api http.Handler) http.Handler {
+	outer := http.NewServeMux()
+	outer.Handle("/", api)
+	outer.HandleFunc("/debug/pprof/", pprof.Index)
+	outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	outer.HandleFunc("/debug/vars", s.handleVars)
+	outer.HandleFunc("/debug/trace", s.handleTrace)
+	return outer
+}
+
+// VarsResponse is the GET /debug/vars payload: an expvar-style JSON
+// snapshot of the server's own metrics, the process-wide registry, and
+// basic runtime stats.
+type VarsResponse struct {
+	Server        map[string]any `json:"server"`
+	Process       map[string]any `json:"process"`
+	Runtime       RuntimeVars    `json:"runtime"`
+	UptimeSeconds float64        `json:"uptimeSeconds"`
+}
+
+// RuntimeVars summarises the Go runtime.
+type RuntimeVars struct {
+	Goroutines      int    `json:"goroutines"`
+	HeapAllocBytes  uint64 `json:"heapAllocBytes"`
+	TotalAllocBytes uint64 `json:"totalAllocBytes"`
+	NumGC           uint32 `json:"numGC"`
+}
+
+// registryVars unmarshals a registry snapshot back into a generic map so
+// it nests inside the vars payload.
+func registryVars(r *obs.Registry) (map[string]any, error) {
+	data, err := r.JSON()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]any{}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// handleVars serves the expvar-style snapshot.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	server, err := registryVars(s.metrics.reg)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "rendering server metrics: %v", err)
+		return
+	}
+	process, err := registryVars(obs.DefaultRegistry())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "rendering process metrics: %v", err)
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeJSON(w, http.StatusOK, VarsResponse{
+		Server:  server,
+		Process: process,
+		Runtime: RuntimeVars{
+			Goroutines:      runtime.NumGoroutine(),
+			HeapAllocBytes:  ms.HeapAlloc,
+			TotalAllocBytes: ms.TotalAlloc,
+			NumGC:           ms.NumGC,
+		},
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// handleTrace serves a Chrome trace_event snapshot of the attached
+// tracer (open with chrome://tracing or ui.perfetto.dev).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	t := s.cfg.Tracer
+	if t == nil {
+		writeError(w, http.StatusNotFound, "no tracer attached (run adaptd with -debug)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := t.WriteChrome(w); err != nil {
+		writeError(w, http.StatusInternalServerError, "writing trace: %v", err)
+	}
+}

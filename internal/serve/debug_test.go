@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/obs"
+)
+
+func TestDebugEndpointsHiddenByDefault(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/debug/vars", "/debug/trace", "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s -> %d without Debug, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestDebugVarsSnapshot(t *testing.T) {
+	_, ts := newTestServer(t, Config{Debug: true})
+	d := counters.Dim(counters.Basic)
+	postPredict(t, ts, predictBody(t, d, 1))
+
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars -> %d", resp.StatusCode)
+	}
+	var vars VarsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Runtime.Goroutines <= 0 || vars.Runtime.HeapAllocBytes == 0 {
+		t.Errorf("implausible runtime stats: %+v", vars.Runtime)
+	}
+	if v, ok := vars.Server["adaptd_cache_misses_total"].(float64); !ok || v != 1 {
+		t.Errorf("server metrics missing predict miss: %v", vars.Server["adaptd_cache_misses_total"])
+	}
+	if vars.UptimeSeconds < 0 {
+		t.Errorf("negative uptime %v", vars.UptimeSeconds)
+	}
+}
+
+func TestDebugTraceSnapshot(t *testing.T) {
+	tr := obs.NewTracer()
+	tr.Enable()
+	_, ts := newTestServer(t, Config{Debug: true, Tracer: tr})
+	d := counters.Dim(counters.Basic)
+	postPredict(t, ts, predictBody(t, d, 1))
+
+	resp, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var out struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, data)
+	}
+	found := false
+	for _, ev := range out.TraceEvents {
+		if ev.Name == "http /v1/predict" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no predict span in trace: %s", data)
+	}
+}
+
+func TestDebugTraceWithoutTracer(t *testing.T) {
+	_, ts := newTestServer(t, Config{Debug: true})
+	resp, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/trace without tracer -> %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDebugPprofIndex(t *testing.T) {
+	_, ts := newTestServer(t, Config{Debug: true})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "goroutine") {
+		t.Errorf("pprof index -> %d:\n%.200s", resp.StatusCode, data)
+	}
+}
+
+// TestMetricsIncludesProcessRegistry asserts /metrics is a superset of
+// the server series: the process-wide registry (sim counters etc.) is
+// appended.
+func TestMetricsIncludesProcessRegistry(t *testing.T) {
+	c := obs.DefaultRegistry().Counter("repro_obs_test_total", "Test-only counter.")
+	c.Inc()
+	s, _ := newTestServer(t, Config{})
+	text := s.MetricsText()
+	if !strings.Contains(text, "adaptd_requests_total") {
+		t.Error("server series missing from /metrics text")
+	}
+	if !strings.Contains(text, "repro_obs_test_total") {
+		t.Error("process registry series missing from /metrics text")
+	}
+}

@@ -1,12 +1,9 @@
 package serve
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
+	"strconv"
 
-	"repro/internal/stats"
+	"repro/internal/obs"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the predict-latency
@@ -16,112 +13,52 @@ var latencyBuckets = []float64{
 	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 1,
 }
 
-// metrics is the server's hand-rolled instrumentation: request counts per
-// (path, status), a predict-latency histogram backed by a stats.Histogram
-// (one bin per bucket plus overflow), and cache/saturation/reload
-// counters. Everything is guarded by one mutex — the predict path takes it
-// twice per request, which is noise next to the 14-model argmax.
+// metrics is the server's instrumentation, held in a per-server
+// obs.Registry (servers must not share series — tests boot several). All
+// counters and the histogram are atomic, so the predict hot path records
+// hits, misses, saturation and latency without taking any lock; the one
+// remaining lock is the request vec's child lookup (a read lock on a
+// small map). PR 1's hand-rolled map+mutex version took the mutex twice
+// per predict.
 type metrics struct {
-	mu        sync.Mutex
-	requests  map[string]uint64 // "path\x00code" -> count
-	latency   *stats.Histogram  // bin i = latencyBuckets[i], last bin = +Inf
-	latSum    float64
-	hits      uint64
-	misses    uint64
-	saturated uint64
-	reloads   uint64
+	reg       *obs.Registry
+	requests  *obs.CounterVec
+	latency   *obs.Histogram
+	hits      *obs.Counter
+	misses    *obs.Counter
+	saturated *obs.Counter
+	reloads   *obs.Counter
 }
 
-func newMetrics() *metrics {
-	return &metrics{
-		requests: map[string]uint64{},
-		latency:  stats.NewHistogram(len(latencyBuckets) + 1),
+// newMetrics builds the server's registry; cacheLen is sampled at
+// exposition time for the entries gauge.
+func newMetrics(cacheLen func() int) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:       reg,
+		requests:  reg.CounterVec("adaptd_requests_total", "Requests served, by path and status code.", "path", "code"),
+		latency:   reg.Histogram("adaptd_predict_latency_seconds", "Predict handler latency.", latencyBuckets),
+		hits:      reg.Counter("adaptd_cache_hits_total", "Predict decisions answered from the LRU cache."),
+		misses:    reg.Counter("adaptd_cache_misses_total", "Predict decisions computed by the model."),
+		saturated: reg.Counter("adaptd_saturated_total", "Requests rejected with 429 by the concurrency limiter."),
+		reloads:   reg.Counter("adaptd_reloads_total", "Successful predictor hot-swaps."),
 	}
+	reg.GaugeFunc("adaptd_cache_entries", "Current LRU cache entries.", func() float64 {
+		return float64(cacheLen())
+	})
+	return m
 }
 
 // observeRequest counts one completed request.
 func (m *metrics) observeRequest(path string, code int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[fmt.Sprintf("%s\x00%d", path, code)]++
+	m.requests.With(path, strconv.Itoa(code)).Inc()
 }
-
-// observeLatency records one predict latency in seconds.
-func (m *metrics) observeLatency(seconds float64) {
-	bin := len(latencyBuckets) // +Inf
-	for i, ub := range latencyBuckets {
-		if seconds <= ub {
-			bin = i
-			break
-		}
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.latency.Add(bin)
-	m.latSum += seconds
-}
-
-func (m *metrics) addHit()       { m.mu.Lock(); m.hits++; m.mu.Unlock() }
-func (m *metrics) addMiss()      { m.mu.Lock(); m.misses++; m.mu.Unlock() }
-func (m *metrics) addSaturated() { m.mu.Lock(); m.saturated++; m.mu.Unlock() }
-func (m *metrics) addReload()    { m.mu.Lock(); m.reloads++; m.mu.Unlock() }
 
 // hitRate returns hits/(hits+misses), 0 before any predict.
 func (m *metrics) hitRate() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.hits+m.misses == 0 {
+	h, mi := m.hits.Value(), m.misses.Value()
+	if h+mi == 0 {
 		return 0
 	}
-	return float64(m.hits) / float64(m.hits+m.misses)
+	return float64(h) / float64(h+mi)
 }
-
-// render writes the Prometheus text exposition of every metric.
-func (m *metrics) render(cacheLen int) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var b strings.Builder
-
-	b.WriteString("# HELP adaptd_requests_total Requests served, by path and status code.\n")
-	b.WriteString("# TYPE adaptd_requests_total counter\n")
-	keys := make([]string, 0, len(m.requests))
-	for k := range m.requests {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		path, code, _ := strings.Cut(k, "\x00")
-		fmt.Fprintf(&b, "adaptd_requests_total{path=%q,code=%q} %d\n", path, code, m.requests[k])
-	}
-
-	b.WriteString("# HELP adaptd_predict_latency_seconds Predict handler latency.\n")
-	b.WriteString("# TYPE adaptd_predict_latency_seconds histogram\n")
-	cum := uint64(0)
-	for i, ub := range latencyBuckets {
-		cum += m.latency.Counts[i]
-		fmt.Fprintf(&b, "adaptd_predict_latency_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
-	}
-	fmt.Fprintf(&b, "adaptd_predict_latency_seconds_bucket{le=\"+Inf\"} %d\n", m.latency.Total)
-	fmt.Fprintf(&b, "adaptd_predict_latency_seconds_sum %g\n", m.latSum)
-	fmt.Fprintf(&b, "adaptd_predict_latency_seconds_count %d\n", m.latency.Total)
-
-	fmt.Fprintf(&b, "# HELP adaptd_cache_hits_total Predict decisions answered from the LRU cache.\n")
-	fmt.Fprintf(&b, "# TYPE adaptd_cache_hits_total counter\n")
-	fmt.Fprintf(&b, "adaptd_cache_hits_total %d\n", m.hits)
-	fmt.Fprintf(&b, "# HELP adaptd_cache_misses_total Predict decisions computed by the model.\n")
-	fmt.Fprintf(&b, "# TYPE adaptd_cache_misses_total counter\n")
-	fmt.Fprintf(&b, "adaptd_cache_misses_total %d\n", m.misses)
-	fmt.Fprintf(&b, "# HELP adaptd_cache_entries Current LRU cache entries.\n")
-	fmt.Fprintf(&b, "# TYPE adaptd_cache_entries gauge\n")
-	fmt.Fprintf(&b, "adaptd_cache_entries %d\n", cacheLen)
-	fmt.Fprintf(&b, "# HELP adaptd_saturated_total Requests rejected with 429 by the concurrency limiter.\n")
-	fmt.Fprintf(&b, "# TYPE adaptd_saturated_total counter\n")
-	fmt.Fprintf(&b, "adaptd_saturated_total %d\n", m.saturated)
-	fmt.Fprintf(&b, "# HELP adaptd_reloads_total Successful predictor hot-swaps.\n")
-	fmt.Fprintf(&b, "# TYPE adaptd_reloads_total counter\n")
-	fmt.Fprintf(&b, "adaptd_reloads_total %d\n", m.reloads)
-	return b.String()
-}
-
-// trimFloat formats a bucket bound the way Prometheus clients do.
-func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }

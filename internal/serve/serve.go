@@ -9,8 +9,10 @@
 // decision cache keyed by quantized feature vectors (phases repeat, so
 // decisions do too), lock-free engine hot-swap for zero-downtime model
 // reload, bounded concurrency with 429 backpressure, per-request timeouts
-// and body-size limits, and hand-rolled Prometheus-text metrics. Stdlib
-// only, like the rest of the repository.
+// and body-size limits, and Prometheus-text metrics through the shared
+// internal/obs registry (the predict hot path records everything with
+// atomic counters — no mutex). Stdlib only, like the rest of the
+// repository.
 package serve
 
 import (
@@ -19,12 +21,14 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/counters"
+	"repro/internal/obs"
 )
 
 // Config bounds the server's resource use.
@@ -43,6 +47,15 @@ type Config struct {
 	// MaxInflight bounds concurrent predict requests; excess requests are
 	// rejected with 429 (default 64).
 	MaxInflight int
+	// Debug mounts the introspection endpoints on the handler: pprof
+	// under /debug/pprof/, an expvar-style metrics snapshot at
+	// /debug/vars, and (with a Tracer) a Chrome trace_event snapshot at
+	// /debug/trace. Off by default; the debug mux bypasses the
+	// per-request timeout because CPU profiles run for tens of seconds.
+	Debug bool
+	// Tracer, when non-nil, records one detached span per request (only
+	// while the tracer is enabled) and backs /debug/trace.
+	Tracer *obs.Tracer
 }
 
 // withDefaults fills unset fields.
@@ -73,12 +86,12 @@ type Server struct {
 func New(e *Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		cache:   newDecisionCache(cfg.CacheSize),
-		metrics: newMetrics(),
-		sem:     make(chan struct{}, cfg.MaxInflight),
-		start:   time.Now(),
+		cfg:   cfg,
+		cache: newDecisionCache(cfg.CacheSize),
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		start: time.Now(),
 	}
+	s.metrics = newMetrics(s.cache.len)
 	s.engine.Store(e)
 	return s
 }
@@ -98,11 +111,17 @@ func (s *Server) Swap(e *Engine) {
 // HitRate returns the decision-cache hit rate so far.
 func (s *Server) HitRate() float64 { return s.metrics.hitRate() }
 
-// MetricsText returns the Prometheus exposition (also served at /metrics).
-func (s *Server) MetricsText() string { return s.metrics.render(s.cache.len()) }
+// MetricsText returns the Prometheus exposition served at /metrics: the
+// server's own series plus the process-wide obs.DefaultRegistry series
+// (simulated instructions, experiment memoisation, phase detections —
+// populated when the daemon trained its model in-process).
+func (s *Server) MetricsText() string {
+	return s.metrics.reg.Text() + obs.DefaultRegistry().Text()
+}
 
 // Handler returns the service's HTTP handler: every endpoint, wrapped with
-// request accounting and the per-request timeout.
+// request accounting and the per-request timeout. With Config.Debug the
+// introspection endpoints are mounted alongside, outside the timeout.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", s.instrument("/v1/predict", s.handlePredict))
@@ -110,7 +129,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/reload", s.instrument("/v1/reload", s.handleReload))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
-	return http.TimeoutHandler(mux, s.cfg.Timeout, "request deadline exceeded\n")
+	h := http.TimeoutHandler(mux, s.cfg.Timeout, "request deadline exceeded\n")
+	if !s.cfg.Debug {
+		return h
+	}
+	return s.debugHandler(h)
 }
 
 // statusWriter records the status code written by a handler.
@@ -124,11 +147,19 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with per-(path, status) request counting.
+// instrument wraps a handler with per-(path, status) request counting and,
+// when a tracer is attached and enabled, a detached span per request.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		var sp *obs.Span
+		if s.cfg.Tracer != nil {
+			sp = s.cfg.Tracer.StartDetached("http " + path)
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
+		if sp != nil {
+			sp.SetArg("code", strconv.Itoa(sw.code)).Finish()
+		}
 		s.metrics.observeRequest(path, sw.code)
 	}
 }
@@ -180,7 +211,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	default:
-		s.metrics.addSaturated()
+		s.metrics.saturated.Inc()
 		writeError(w, http.StatusTooManyRequests, "server saturated (%d predicts in flight); retry", s.cfg.MaxInflight)
 		return
 	}
@@ -211,12 +242,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey(req.Features)
 	entry, hit := s.cache.get(key)
 	if hit && entry.eng == eng {
-		s.metrics.addHit()
+		s.metrics.hits.Inc()
 	} else {
 		cfg, probs := eng.Predict(req.Features)
 		entry = &cacheEntry{key: key, eng: eng, config: cfg, probs: probs}
 		s.cache.put(entry)
-		s.metrics.addMiss()
+		s.metrics.misses.Inc()
 		hit = false
 	}
 
@@ -231,7 +262,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Config[p.String()] = entry.config[p]
 		resp.Probabilities[p.String()] = entry.probs[p]
 	}
-	s.metrics.observeLatency(time.Since(started).Seconds())
+	s.metrics.latency.Observe(time.Since(started).Seconds())
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -325,7 +356,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.Swap(eng)
-	s.metrics.addReload()
+	s.metrics.reloads.Inc()
 	writeJSON(w, http.StatusOK, ReloadResponse{
 		Reloaded: true,
 		Model: ModelInfo{
@@ -374,5 +405,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprint(w, s.metrics.render(s.cache.len()))
+	fmt.Fprint(w, s.MetricsText())
 }

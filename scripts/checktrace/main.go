@@ -1,0 +1,58 @@
+// Command checktrace validates a Chrome trace_event JSON file produced by
+// cmd/report -trace: it must parse, contain at least one complete ("X")
+// event, and every event must carry a name. verify.sh runs it as the
+// observability smoke gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: checktrace <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	if len(data) == 0 {
+		fatal(fmt.Errorf("%s is empty", os.Args[1]))
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatal(fmt.Errorf("%s: invalid JSON: %w", os.Args[1], err))
+	}
+	if len(doc.TraceEvents) == 0 {
+		fatal(fmt.Errorf("%s has no traceEvents", os.Args[1]))
+	}
+	complete := 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			fatal(fmt.Errorf("%s: event %d has no name", os.Args[1], i))
+		}
+		if ev.Phase == "X" {
+			complete++
+		}
+	}
+	if complete == 0 {
+		fatal(fmt.Errorf("%s has no complete (ph=X) events", os.Args[1]))
+	}
+	fmt.Printf("checktrace: %s ok (%d events, %d complete)\n",
+		os.Args[1], len(doc.TraceEvents), complete)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "checktrace:", err)
+	os.Exit(1)
+}

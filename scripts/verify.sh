@@ -25,4 +25,13 @@ go test ./...
 echo "== go test -race internal/serve =="
 go test -race ./internal/serve
 
+echo "== go test -race internal/obs =="
+go test -race ./internal/obs
+
+echo "== report -trace smoke =="
+trace_out=$(mktemp /tmp/verify-trace.XXXXXX.json)
+trap 'rm -f "$trace_out"' EXIT
+go run ./cmd/report -scale test -skip-slow -trace "$trace_out" >/dev/null
+go run ./scripts/checktrace "$trace_out"
+
 echo "verify: all gates passed"

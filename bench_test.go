@@ -7,10 +7,14 @@
 //
 // Scale is selected with REPRO_BENCH_SCALE: "test" (seconds), "mid"
 // (default, minutes) or "full" (the whole 26x10-phase suite, tens of
-// minutes on one core).
+// minutes on one core). With REPRO_CACHE_DIR set, the pipeline builds
+// against the persistent result store there (internal/store), making the
+// ~40-minute table/figure regeneration resumable: an interrupted run
+// keeps every simulation it paid for, and a repeat run replays from disk.
 package repro
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"net/http/httptest"
@@ -29,6 +33,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -80,9 +85,26 @@ func pipeline(b *testing.B) (*experiment.Dataset, *experiment.Evaluation, *exper
 			prog.Observe(stage, done, total, "sims", sims, "memoHitRate", fmt.Sprintf("%.2f", rate))
 		})
 		defer experiment.SetProgress(nil)
-		pipeDS, pipeErr = experiment.BuildDataset(sc)
+		// REPRO_CACHE_DIR persists every measurement simulation, making
+		// interrupted regenerations resumable. The store stays open for
+		// the whole process: post-build experiments (limit studies, model
+		// scoring) read and extend it too.
+		var pipeStore *store.Store
+		if dir := os.Getenv("REPRO_CACHE_DIR"); dir != "" {
+			pipeStore, pipeErr = store.Open(dir)
+			if pipeErr != nil {
+				return
+			}
+			fmt.Printf("# result store: %s (%d records)\n", dir, pipeStore.Len())
+		}
+		pipeDS, pipeErr = experiment.BuildDatasetStore(context.Background(), sc, pipeStore)
 		if pipeErr != nil {
 			return
+		}
+		if pipeStore != nil {
+			st := pipeStore.Stats()
+			fmt.Printf("# result store after build: hits=%d misses=%d records=%d\n",
+				st.Hits, st.Misses, st.Records)
 		}
 		fmt.Printf("# dataset: %d simulations; LOOCV (advanced)...\n", pipeDS.SimCount())
 		pipeAdv, pipeErr = pipeDS.EvaluateModel(counters.Advanced)

@@ -22,11 +22,16 @@
 // Usage:
 //
 //	adaptd [-addr :8080] [-model adaptd.model] [-counter-set advanced|basic]
-//	       [-quantized] [-train-scale test|default] [-cache 4096]
-//	       [-max-inflight 64] [-timeout 5s] [-max-body N] [-debug]
-//	       [-log-json] [-log-level info]
+//	       [-quantized] [-train-scale test|default] [-cache-dir DIR]
+//	       [-cache 4096] [-max-inflight 64] [-timeout 5s] [-max-body N]
+//	       [-debug] [-log-json] [-log-level info]
 //	       [-loadgen] [-loadgen-requests N] [-loadgen-conc N]
 //	       [-loadgen-pool N] [-seed N]
+//
+// With -cache-dir, first-boot training runs against the persistent
+// simulation-result store (internal/store): a boot interrupted by SIGINT
+// mid-dataset resumes from the store on the next boot instead of
+// restarting the ~40-minute build from scratch.
 //
 // With -loadgen the daemon boots normally, points a deterministic seeded
 // load generator at itself, prints the throughput/latency report and the
@@ -51,6 +56,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -60,6 +66,7 @@ func main() {
 		setName    = flag.String("counter-set", "advanced", "counter set: advanced or basic")
 		quantized  = flag.Bool("quantized", false, "serve the 8-bit quantized model (§VIII hardware form)")
 		trainScale = flag.String("train-scale", "test", "first-boot training scale: test or default")
+		cacheDir   = flag.String("cache-dir", "", "persistent simulation-result store for first-boot training (empty disables)")
 		cacheSize  = flag.Int("cache", 4096, "LRU decision-cache entries (0 disables)")
 		maxInfl    = flag.Int("max-inflight", 64, "concurrent predicts before 429 backpressure")
 		timeout    = flag.Duration("timeout", 5*time.Second, "per-request deadline")
@@ -102,7 +109,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	pred, err := bootPredictor(ctx, logger, *modelPath, set, *trainScale)
+	pred, err := bootPredictor(ctx, logger, *modelPath, set, *trainScale, *cacheDir)
 	if err != nil {
 		die(err)
 	}
@@ -162,8 +169,10 @@ func main() {
 
 // bootPredictor loads the model file if it exists; otherwise it trains one
 // through the experiment harness at the requested scale (cancellable via
-// ctx) and saves it.
-func bootPredictor(ctx context.Context, logger *slog.Logger, path string, set counters.Set, scaleName string) (*core.Predictor, error) {
+// ctx) and saves it. With cacheDir, the training dataset is built against
+// the persistent result store there, so an interrupted first boot resumes
+// mid-dataset instead of restarting.
+func bootPredictor(ctx context.Context, logger *slog.Logger, path string, set counters.Set, scaleName, cacheDir string) (*core.Predictor, error) {
 	if f, err := os.Open(path); err == nil {
 		defer f.Close()
 		pred, err := core.LoadPredictor(f)
@@ -183,6 +192,15 @@ func bootPredictor(ctx context.Context, logger *slog.Logger, path string, set co
 	if scaleName == "default" {
 		sc = experiment.DefaultScale()
 	}
+	var st *store.Store
+	if cacheDir != "" {
+		var err error
+		if st, err = store.Open(cacheDir); err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		logger.Info("result store open", "dir", cacheDir, "records", st.Len())
+	}
 	logger.Info("no model; training", "path", path, "scale", scaleName,
 		"programs", len(sc.Programs), "phasesPerProgram", sc.PhasesPerProgram)
 	prog := &obs.Progress{Logger: logger}
@@ -190,9 +208,14 @@ func bootPredictor(ctx context.Context, logger *slog.Logger, path string, set co
 		prog.Observe(stage, done, total)
 	})
 	defer experiment.SetProgress(nil)
-	ds, err := experiment.BuildDatasetCtx(ctx, sc)
+	ds, err := experiment.BuildDatasetStore(ctx, sc, st)
 	if err != nil {
 		return nil, err
+	}
+	if st != nil {
+		s := st.Stats()
+		logger.Info("store stats", "storeHits", s.Hits, "storeMisses", s.Misses,
+			"records", s.Records, "bytesWritten", s.BytesWritten)
 	}
 	pred, err := ds.TrainAllCtx(ctx, set)
 	if err != nil {

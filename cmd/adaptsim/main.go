@@ -8,10 +8,16 @@
 // Usage:
 //
 //	adaptsim [-program mcf] [-intervals 20] [-interval-insts 20000]
-//	         [-counter-set advanced|basic] [-cadence N]
+//	         [-counter-set advanced|basic] [-cadence N] [-cache-dir DIR]
+//
+// With -cache-dir, the training dataset is built against the persistent
+// simulation-result store (internal/store), so repeated adaptsim runs —
+// even for different -program values, which train on overlapping
+// benchmark subsets — reuse each other's simulations.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,6 +29,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -35,6 +42,7 @@ func main() {
 		cadence   = flag.Int("cadence", 0, "if > 0, caches adapt only every Nth reconfiguration")
 		ovScale   = flag.Float64("overhead-scale", 0.02, "reconfiguration overhead scale (1 = paper-absolute)")
 		modelPath = flag.String("model-cache", "", "path to save/load the trained predictor (skips retraining)")
+		cacheDir  = flag.String("cache-dir", "", "persistent simulation-result store for the training build (empty disables)")
 		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
@@ -87,16 +95,30 @@ func main() {
 		}
 	}
 	if pred == nil {
+		var st *store.Store
+		if *cacheDir != "" {
+			var err error
+			if st, err = store.Open(*cacheDir); err != nil {
+				die(err)
+			}
+			defer st.Close()
+			logger.Info("result store open", "dir", *cacheDir, "records", st.Len())
+		}
 		logger.Info("building training dataset", "programs", len(progs), "phasesPerProgram", sc.PhasesPerProgram)
 		prog := &obs.Progress{Logger: logger}
 		experiment.SetProgress(func(stage string, done, total int) {
 			prog.Observe(stage, done, total)
 		})
-		ds, err := experiment.BuildDataset(sc)
+		ds, err := experiment.BuildDatasetStore(context.Background(), sc, st)
 		if err != nil {
 			die(err)
 		}
 		experiment.SetProgress(nil)
+		if st != nil {
+			s := st.Stats()
+			logger.Info("store stats", "storeHits", s.Hits, "storeMisses", s.Misses,
+				"records", s.Records, "bytesWritten", s.BytesWritten)
+		}
 		logger.Info("training predictor", "counters", set.String())
 		pred, err = ds.TrainAll(set)
 		if err != nil {

@@ -5,15 +5,18 @@
 // Usage:
 //
 //	report [-scale test|default] [-programs mcf,swim,...] [-phases N]
-//	       [-interval N] [-uniform N] [-skip-slow]
+//	       [-interval N] [-uniform N] [-skip-slow] [-cache-dir DIR]
 //	       [-trace out.json] [-log-json] [-log-level info]
 //
 // Tables and figures go to stdout; logs (structured, via internal/obs) go
-// to stderr. With -trace the run's span tree is written as Chrome
-// trace_event JSON (open with chrome://tracing or ui.perfetto.dev).
+// to stderr — including the result-store statistics, so two runs against
+// the same -cache-dir produce byte-identical stdout. With -trace the
+// run's span tree is written as Chrome trace_event JSON (open with
+// chrome://tracing or ui.perfetto.dev).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/render"
+	"repro/internal/store"
 )
 
 func main() {
@@ -37,6 +41,7 @@ func main() {
 		interval  = flag.Int("interval", 0, "instructions per phase interval (default: preset)")
 		uniform   = flag.Int("uniform", 0, "shared uniform samples (default: preset)")
 		skipSlow  = flag.Bool("skip-slow", false, "skip Figure 1 and Table IV (the slowest experiments)")
+		cacheDir  = flag.String("cache-dir", "", "persistent result-store directory (reused across runs; empty disables)")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -71,8 +76,19 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Live progress/ETA for the long stages, annotated with the memo hit
-	// rate so a stalled-looking run is distinguishable from a cache-warm one.
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		if st, err = store.Open(*cacheDir); err != nil {
+			die(err)
+		}
+		defer st.Close()
+		logger.Info("result store open", "dir", *cacheDir, "records", st.Len())
+	}
+
+	// Live progress/ETA for the long stages, annotated with the memo and
+	// store hit rates so a stalled-looking run is distinguishable from a
+	// cache-warm one.
 	prog := &obs.Progress{Logger: logger}
 	experiment.SetProgress(func(stage string, done, total int) {
 		hits, sims := experiment.MemoStats()
@@ -80,8 +96,12 @@ func main() {
 		if hits+sims > 0 {
 			rate = float64(hits) / float64(hits+sims)
 		}
-		prog.Observe(stage, done, total,
-			"sims", sims, "memoHitRate", fmt.Sprintf("%.2f", rate))
+		attrs := []any{"sims", sims, "memoHitRate", fmt.Sprintf("%.2f", rate)}
+		if st != nil {
+			sh, sm, _, _, _ := store.ProcessStats()
+			attrs = append(attrs, "storeHits", sh, "storeMisses", sm)
+		}
+		prog.Observe(stage, done, total, attrs...)
 	})
 	defer experiment.SetProgress(nil)
 
@@ -107,7 +127,7 @@ func main() {
 	logger.Info("building dataset",
 		"programs", len(sc.Programs), "phasesPerProgram", sc.PhasesPerProgram,
 		"intervalInsts", sc.IntervalInsts, "sharedConfigs", sc.UniformSamples)
-	ds, err := experiment.BuildDataset(sc)
+	ds, err := experiment.BuildDatasetStore(context.Background(), sc, st)
 	if err != nil {
 		die(err)
 	}
@@ -228,5 +248,17 @@ func main() {
 	hits, sims := experiment.MemoStats()
 	logger.Info("done", "elapsed", time.Since(start).Round(time.Second).String(),
 		"simulations", sims, "memoHits", hits)
+	if st != nil {
+		s := st.Stats()
+		rate := 0.0
+		if s.Hits+s.Misses > 0 {
+			rate = float64(s.Hits) / float64(s.Hits+s.Misses)
+		}
+		logger.Info("store stats", "dir", *cacheDir,
+			"storeHits", s.Hits, "storeMisses", s.Misses,
+			"storeHitRate", fmt.Sprintf("%.2f", rate),
+			"records", s.Records, "bytesRead", s.BytesRead, "bytesWritten", s.BytesWritten,
+			"dropped", s.Dropped, "compactions", s.Compactions)
+	}
 	writeTrace()
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/obs"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -131,6 +132,14 @@ type Dataset struct {
 	results map[PhaseID]map[arch.Config]*entry
 	traces  map[PhaseID][]trace.Inst
 
+	// store, when non-nil, is the persistent result cache behind the
+	// in-memory memo table: measurement-mode simulations are answered
+	// from it when possible and appended to it when not. It supplies
+	// result *values* only — the in-sample flag is always decided by
+	// the caller, so a store hit and a fresh simulation are
+	// indistinguishable to the search protocol and the oracle.
+	store *store.Store
+
 	// Best is the most efficient in-sample configuration found per phase
 	// (the paper's "best dynamic" from the sample space). Model
 	// predictions never update it, so Figure 7b can exceed 1 exactly as
@@ -160,6 +169,16 @@ func BuildDataset(sc Scale) (*Dataset, error) {
 // into the simulator's inner loop). A cancelled build returns ctx.Err()
 // wrapped with the stage it was in.
 func BuildDatasetCtx(ctx context.Context, sc Scale) (*Dataset, error) {
+	return BuildDatasetStore(ctx, sc, nil)
+}
+
+// BuildDatasetStore is BuildDatasetCtx with a persistent result store
+// attached (st may be nil, disabling it). Every measurement-mode
+// simulation is first looked up in the store and, on a miss, appended to
+// it immediately after running — so a build interrupted mid-dataset
+// resumes from where it stopped on the next run, and a repeat run at the
+// same scale replays from disk instead of simulating.
+func BuildDatasetStore(ctx context.Context, sc Scale, st *store.Store) (*Dataset, error) {
 	sc = sc.withDefaults()
 	ds := &Dataset{
 		Scale:         sc,
@@ -170,6 +189,7 @@ func BuildDatasetCtx(ctx context.Context, sc Scale) (*Dataset, error) {
 		FeaturesAdv:   map[PhaseID][]float64{},
 		FeaturesBasic: map[PhaseID][]float64{},
 		ProfileRes:    map[PhaseID]*cpu.Result{},
+		store:         st,
 	}
 
 	tr := obs.DefaultTracer()
@@ -340,11 +360,25 @@ func (ds *Dataset) updateBest(id PhaseID, cfg arch.Config, res *cpu.Result) {
 	}
 }
 
-// simulate runs and memoises one (phase, config) simulation.
+// simulate runs and memoises one (phase, config) simulation. With a
+// store attached, measurement-mode runs are read-through/write-behind:
+// a stored result short-circuits the simulator, a fresh one is appended
+// to the log right away (so an interrupted build loses nothing already
+// paid for). Profiling runs (opts.Collect) are never cached — their
+// RawCounters are not part of the record format — and, as before, never
+// memoised.
 func (ds *Dataset) simulate(id PhaseID, cfg arch.Config, opts cpu.Options, inSample bool) (*cpu.Result, error) {
 	insts, ok := ds.traces[id]
 	if !ok {
 		return nil, fmt.Errorf("experiment: unknown phase %s", id)
+	}
+	var key store.Key
+	if !opts.Collect && ds.store != nil {
+		key = store.Fingerprint(id.Program, id.Phase, cfg, len(insts), opts.WarmupInsts)
+		if res, ok := ds.store.Get(key); ok {
+			ds.memoize(id, cfg, res, inSample)
+			return res, nil
+		}
 	}
 	sim, err := cpu.New(cfg)
 	if err != nil {
@@ -356,18 +390,31 @@ func (ds *Dataset) simulate(id PhaseID, cfg arch.Config, opts cpu.Options, inSam
 	}
 	obsSims.Inc()
 	if !opts.Collect { // only cache the measurement-mode results
-		m := ds.results[id]
-		if m == nil {
-			m = map[arch.Config]*entry{}
-			ds.results[id] = m
-		}
-		m[cfg] = &entry{res: res, inSample: inSample}
-		if inSample {
-			obsSampleConfigs.Inc()
-			ds.updateBest(id, cfg, res)
+		ds.memoize(id, cfg, res, inSample)
+		if ds.store != nil {
+			if err := ds.store.Put(key, res); err != nil {
+				return nil, fmt.Errorf("experiment: persisting %s result: %w", id, err)
+			}
 		}
 	}
 	return res, nil
+}
+
+// memoize records one measurement-mode result in the in-memory table,
+// applying the sample-space side effects exactly as a fresh simulation
+// would — store hits must be indistinguishable from simulations here, or
+// the oracle/Figure-7b semantics drift between cold and warm runs.
+func (ds *Dataset) memoize(id PhaseID, cfg arch.Config, res *cpu.Result, inSample bool) {
+	m := ds.results[id]
+	if m == nil {
+		m = map[arch.Config]*entry{}
+		ds.results[id] = m
+	}
+	m[cfg] = &entry{res: res, inSample: inSample}
+	if inSample {
+		obsSampleConfigs.Inc()
+		ds.updateBest(id, cfg, res)
+	}
 }
 
 // SimCount returns the number of memoised simulations (for reporting).
@@ -377,6 +424,28 @@ func (ds *Dataset) SimCount() int {
 		n += len(m)
 	}
 	return n
+}
+
+// SampleSpace returns the phase's in-sample configurations in a
+// deterministic (lexicographic) order — the exact partition the search
+// protocol and limit studies draw from, exposed so tests can assert that
+// warm store rebuilds reproduce it bit for bit.
+func (ds *Dataset) SampleSpace(id PhaseID) []arch.Config {
+	var out []arch.Config
+	for cfg, e := range ds.results[id] {
+		if e.inSample {
+			out = append(out, cfg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for p := arch.Param(0); p < arch.NumParams; p++ {
+			if out[i][p] != out[j][p] {
+				return out[i][p] < out[j][p]
+			}
+		}
+		return false
+	})
+	return out
 }
 
 // computeBestStatic picks the shared configuration with the best average
@@ -414,8 +483,21 @@ func (ds *Dataset) computeGoodSets() {
 				good = append(good, cfg)
 			}
 		}
+		// Tie-break equal efficiencies lexicographically: good comes out
+		// of map iteration, so without a total order its layout (and
+		// anything downstream that reads Good[0], like training targets)
+		// would vary run to run.
 		sort.Slice(good, func(i, j int) bool {
-			return ds.results[id][good[i]].res.Efficiency > ds.results[id][good[j]].res.Efficiency
+			ei, ej := ds.results[id][good[i]].res.Efficiency, ds.results[id][good[j]].res.Efficiency
+			if ei != ej {
+				return ei > ej
+			}
+			for p := arch.Param(0); p < arch.NumParams; p++ {
+				if good[i][p] != good[j][p] {
+					return good[i][p] < good[j][p]
+				}
+			}
+			return false
 		})
 		ds.Good[id] = good
 	}

@@ -1,0 +1,177 @@
+// Record codec: the content-addressed key and the canonical binary
+// encoding of a measurement-mode cpu.Result. Both are fixed-layout
+// little-endian so a record written on one run decodes bit-identically
+// on the next — float64 fields round-trip through their IEEE bits, never
+// through text.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/power"
+)
+
+// Key is the SHA-256 fingerprint of one simulation's canonical inputs.
+type Key [sha256.Size]byte
+
+const keySize = sha256.Size
+
+// fingerprintMagic domain-separates the hash from any other SHA-256 use.
+const fingerprintMagic = "repro.simres\x00"
+
+// Fingerprint derives the store key for one measurement-mode simulation:
+// the phase identity, the full configuration, and the two Scale levers
+// that shape a single run (interval and warmup instruction counts). The
+// remaining Scale fields (seed, program list, sample budgets) decide
+// *which* simulations happen, not what any one of them returns, so they
+// stay out of the key — that is what lets report, adaptd and adaptsim
+// runs at different scales share records. SimVersion is baked in, so
+// bumping it retires every old record without touching the file.
+func Fingerprint(program string, phase int, cfg arch.Config, intervalInsts, warmupInsts int) Key {
+	return fingerprint(SimVersion, program, phase, cfg, intervalInsts, warmupInsts)
+}
+
+func fingerprint(version uint64, program string, phase int, cfg arch.Config, intervalInsts, warmupInsts int) Key {
+	h := sha256.New()
+	buf := make([]byte, 0, 256)
+	buf = append(buf, fingerprintMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, version)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(program)))
+	buf = append(buf, program...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(phase)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(arch.NumParams))
+	for p := arch.Param(0); p < arch.NumParams; p++ {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(cfg[p])))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(intervalInsts)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(warmupInsts)))
+	h.Write(buf)
+	var k Key
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// Field counts of the fixed record layout. Decoding checks these against
+// the running binary: a result struct that grew or shrank (or a changed
+// arch.NumParams / power.NumStructures) makes old records undecodable,
+// which Get treats as a miss — never as silently wrong data.
+const (
+	countFields   = 13 // Cycles .. L2Misses
+	derivedFields = 6  // IPC, SecondsSim, IPS, Watts, EnergyJ, Efficiency
+)
+
+// encodedSize is the exact value length for the current build.
+func encodedSize() int {
+	return 2 + // uint16 param count
+		4*int(arch.NumParams) + // config values
+		8*countFields +
+		8 + // energy cycles
+		8*3 + // dynamic, leakage, total joules
+		2 + // uint16 structure count
+		8*int(power.NumStructures) +
+		8 + // average power
+		8*derivedFields
+}
+
+// encodeResult serialises a measurement-mode result (Counters must be
+// nil — profiling runs are never cached).
+func encodeResult(r *cpu.Result) []byte {
+	buf := make([]byte, 0, encodedSize())
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	f64 := func(v float64) { buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v)) }
+
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(arch.NumParams))
+	for p := arch.Param(0); p < arch.NumParams; p++ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(r.Config[p])))
+	}
+	u64(r.Cycles)
+	u64(r.Committed)
+	u64(r.Fetched)
+	u64(r.WrongPath)
+	u64(r.BranchLookups)
+	u64(r.Mispredicts)
+	u64(r.BTBMisses)
+	u64(r.L1IAccesses)
+	u64(r.L1IMisses)
+	u64(r.L1DAccesses)
+	u64(r.L1DMisses)
+	u64(r.L2Accesses)
+	u64(r.L2Misses)
+
+	u64(r.Energy.Cycles)
+	f64(r.Energy.DynamicJ)
+	f64(r.Energy.LeakageJ)
+	f64(r.Energy.TotalJ)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(power.NumStructures))
+	for st := power.Structure(0); st < power.NumStructures; st++ {
+		f64(r.Energy.PerStructureJ[st])
+	}
+	f64(r.Energy.AvgPowerW)
+
+	f64(r.IPC)
+	f64(r.SecondsSim)
+	f64(r.IPS)
+	f64(r.Watts)
+	f64(r.EnergyJ)
+	f64(r.Efficiency)
+	return buf
+}
+
+// decodeResult is encodeResult's strict inverse: the value must have the
+// exact current-layout length and matching dimension tags.
+func decodeResult(value []byte) (*cpu.Result, error) {
+	if len(value) != encodedSize() {
+		return nil, fmt.Errorf("store: record value is %d bytes, want %d", len(value), encodedSize())
+	}
+	off := 0
+	u16 := func() uint16 { v := binary.LittleEndian.Uint16(value[off:]); off += 2; return v }
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(value[off:]); off += 4; return v }
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(value[off:]); off += 8; return v }
+	f64 := func() float64 { return math.Float64frombits(u64()) }
+
+	if n := u16(); n != uint16(arch.NumParams) {
+		return nil, fmt.Errorf("store: record has %d parameters, want %d", n, arch.NumParams)
+	}
+	r := &cpu.Result{}
+	for p := arch.Param(0); p < arch.NumParams; p++ {
+		r.Config[p] = int(int32(u32()))
+	}
+	r.Cycles = u64()
+	r.Committed = u64()
+	r.Fetched = u64()
+	r.WrongPath = u64()
+	r.BranchLookups = u64()
+	r.Mispredicts = u64()
+	r.BTBMisses = u64()
+	r.L1IAccesses = u64()
+	r.L1IMisses = u64()
+	r.L1DAccesses = u64()
+	r.L1DMisses = u64()
+	r.L2Accesses = u64()
+	r.L2Misses = u64()
+
+	r.Energy.Cycles = u64()
+	r.Energy.DynamicJ = f64()
+	r.Energy.LeakageJ = f64()
+	r.Energy.TotalJ = f64()
+	if n := u16(); n != uint16(power.NumStructures) {
+		return nil, fmt.Errorf("store: record has %d power structures, want %d", n, power.NumStructures)
+	}
+	for st := power.Structure(0); st < power.NumStructures; st++ {
+		r.Energy.PerStructureJ[st] = f64()
+	}
+	r.Energy.AvgPowerW = f64()
+
+	r.IPC = f64()
+	r.SecondsSim = f64()
+	r.IPS = f64()
+	r.Watts = f64()
+	r.EnergyJ = f64()
+	r.Efficiency = f64()
+	return r, nil
+}

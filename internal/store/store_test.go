@@ -1,0 +1,368 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/power"
+)
+
+// fakeResult builds a fully populated measurement-mode result whose every
+// field depends on i, so round-trip equality is a meaningful check.
+func fakeResult(i int) *cpu.Result {
+	r := &cpu.Result{
+		Config:        arch.Baseline().With(arch.IQSize, arch.Domain(arch.IQSize)[i%arch.DomainSize(arch.IQSize)]),
+		Cycles:        uint64(1000 + i),
+		Committed:     uint64(900 + i),
+		Fetched:       uint64(1100 + i),
+		WrongPath:     uint64(50 + i),
+		BranchLookups: uint64(200 + i),
+		Mispredicts:   uint64(10 + i),
+		BTBMisses:     uint64(5 + i),
+		L1IAccesses:   uint64(1100 + i),
+		L1IMisses:     uint64(7 + i),
+		L1DAccesses:   uint64(400 + i),
+		L1DMisses:     uint64(30 + i),
+		L2Accesses:    uint64(37 + i),
+		L2Misses:      uint64(3 + i),
+		IPC:           0.9 + float64(i)/1000,
+		SecondsSim:    1e-6 * float64(i+1),
+		IPS:           1e9 / float64(i+1),
+		Watts:         10.5 + float64(i),
+		EnergyJ:       1e-5 * float64(i+1),
+		Efficiency:    1e27 / float64(i+1),
+	}
+	r.Energy = power.Summary{
+		Cycles:    r.Cycles,
+		DynamicJ:  1e-6 * float64(i+1),
+		LeakageJ:  2e-6 * float64(i+1),
+		TotalJ:    3e-6 * float64(i+1),
+		AvgPowerW: r.Watts,
+	}
+	for st := power.Structure(0); st < power.NumStructures; st++ {
+		r.Energy.PerStructureJ[st] = float64(i)*1e-9 + float64(st)*1e-12
+	}
+	return r
+}
+
+func fakeKey(i int) Key {
+	return Fingerprint(fmt.Sprintf("prog%d", i%3), i, arch.Baseline(), 2500, 1200)
+}
+
+func TestRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := s.Put(fakeKey(i), fakeResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, ok := s.Get(fakeKey(i))
+		if !ok {
+			t.Fatalf("Get(%d) missed before reopen", i)
+		}
+		if !reflect.DeepEqual(got, fakeResult(i)) {
+			t.Fatalf("Get(%d) = %+v, want %+v", i, got, fakeResult(i))
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != n {
+		t.Fatalf("reopened store has %d records, want %d", s2.Len(), n)
+	}
+	if st := s2.Stats(); st.Dropped != 0 || st.Compactions != 0 {
+		t.Errorf("clean reopen dropped %d records, compacted %d times", st.Dropped, st.Compactions)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := s2.Get(fakeKey(i))
+		if !ok {
+			t.Fatalf("Get(%d) missed after reopen", i)
+		}
+		if !reflect.DeepEqual(got, fakeResult(i)) {
+			t.Fatalf("Get(%d) after reopen = %+v, want %+v", i, got, fakeResult(i))
+		}
+	}
+	if _, ok := s2.Get(fakeKey(n + 1)); ok {
+		t.Error("Get of an unwritten key hit")
+	}
+}
+
+func TestFingerprintDistinguishesInputs(t *testing.T) {
+	base := fingerprint(1, "mcf", 0, arch.Baseline(), 2500, 1200)
+	variants := map[string]Key{
+		"version":  fingerprint(2, "mcf", 0, arch.Baseline(), 2500, 1200),
+		"program":  fingerprint(1, "gcc", 0, arch.Baseline(), 2500, 1200),
+		"phase":    fingerprint(1, "mcf", 1, arch.Baseline(), 2500, 1200),
+		"config":   fingerprint(1, "mcf", 0, arch.Baseline().With(arch.Width, 8), 2500, 1200),
+		"interval": fingerprint(1, "mcf", 0, arch.Baseline(), 5000, 1200),
+		"warmup":   fingerprint(1, "mcf", 0, arch.Baseline(), 2500, 0),
+	}
+	for name, k := range variants {
+		if k == base {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+	if again := fingerprint(1, "mcf", 0, arch.Baseline(), 2500, 1200); again != base {
+		t.Error("identical inputs fingerprinted differently")
+	}
+}
+
+// recordOffsets parses the log's framing and returns each record's
+// (header offset, payload length) in file order.
+func recordOffsets(t *testing.T, path string) [][2]int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs [][2]int64
+	off := int64(headerSize)
+	for off+recHeaderSize <= int64(len(data)) {
+		plen := int64(binary.LittleEndian.Uint32(data[off:]))
+		recs = append(recs, [2]int64{off, plen})
+		off += recHeaderSize + plen
+	}
+	return recs
+}
+
+// TestCorruptionRecovery is the crash-safety contract: a truncated final
+// record and a bit-flipped payload byte must both be detected on open,
+// dropped (not fatal), and must not stop subsequent writes from
+// round-tripping.
+func TestCorruptionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fakeKey(i), fakeResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, dataFileName)
+	recs := recordOffsets(t, path)
+	if len(recs) != 3 {
+		t.Fatalf("log has %d records, want 3", len(recs))
+	}
+
+	// Flip one byte in the middle of record 1's payload.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipAt := recs[1][0] + recHeaderSize + keySize + 4
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], flipAt); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], flipAt); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the final record mid-payload (a torn append).
+	if err := f.Truncate(recs[2][0] + recHeaderSize + 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open after corruption: %v", err)
+	}
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Dropped != 2 {
+		t.Errorf("dropped %d records, want 2 (one flipped, one torn)", st.Dropped)
+	}
+	if st.Compactions != 1 {
+		t.Errorf("dirty open ran %d compactions, want 1", st.Compactions)
+	}
+	if got, ok := s2.Get(fakeKey(0)); !ok || !reflect.DeepEqual(got, fakeResult(0)) {
+		t.Errorf("surviving record 0 unreadable (ok=%v)", ok)
+	}
+	for _, i := range []int{1, 2} {
+		if _, ok := s2.Get(fakeKey(i)); ok {
+			t.Errorf("corrupt record %d still served", i)
+		}
+	}
+
+	// Subsequent writes must round-trip, survive a reopen, and the
+	// compacted log must scan clean.
+	for _, i := range []int{1, 2, 3} {
+		if err := s2.Put(fakeKey(i), fakeResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if st := s3.Stats(); st.Dropped != 0 {
+		t.Errorf("post-recovery log still dirty: %d dropped", st.Dropped)
+	}
+	for i := 0; i < 4; i++ {
+		got, ok := s3.Get(fakeKey(i))
+		if !ok || !reflect.DeepEqual(got, fakeResult(i)) {
+			t.Errorf("record %d did not round-trip after recovery (ok=%v)", i, ok)
+		}
+	}
+}
+
+func TestCompactRemovesSuperseded(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	key := fakeKey(0)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(key, fakeResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(fakeKey(1), fakeResult(10)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(filepath.Join(dir, dataFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(filepath.Join(dir, dataFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink the log: %d -> %d bytes", before.Size(), after.Size())
+	}
+	if got, ok := s.Get(key); !ok || !reflect.DeepEqual(got, fakeResult(4)) {
+		t.Errorf("latest write lost by compaction (ok=%v)", ok)
+	}
+	if got, ok := s.Get(fakeKey(1)); !ok || !reflect.DeepEqual(got, fakeResult(10)) {
+		t.Errorf("unrelated record lost by compaction (ok=%v)", ok)
+	}
+	// And the rewritten log must reopen clean with both records.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Errorf("compacted log reopened with %d records, want 2", s2.Len())
+	}
+}
+
+func TestLockExcludesSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrLocked) {
+		t.Errorf("second Open error = %v, want ErrLocked", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	s2.Close()
+}
+
+func TestOpenRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, dataFileName), []byte("not a store, definitely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("Open accepted a non-store file")
+	}
+}
+
+func TestDecodeRejectsWrongLength(t *testing.T) {
+	enc := encodeResult(fakeResult(1))
+	if _, err := decodeResult(enc[:len(enc)-1]); err == nil {
+		t.Error("decode accepted a short value")
+	}
+	if _, err := decodeResult(append(enc, 0)); err == nil {
+		t.Error("decode accepted a long value")
+	}
+	if _, err := decodeResult(enc); err != nil {
+		t.Errorf("decode rejected a valid value: %v", err)
+	}
+}
+
+// TestConcurrentAccess exercises the mutex paths under -race.
+func TestConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fakeKey(w*50 + i)
+				if err := s.Put(k, fakeResult(w*50+i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := s.Get(k); !ok {
+					t.Errorf("worker %d: own write %d missed", w, i)
+					return
+				}
+				s.Get(fakeKey((w*50 + i + 1) % 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 200 {
+		t.Errorf("store has %d records, want 200", s.Len())
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,10 +28,36 @@ go test -race ./internal/serve
 echo "== go test -race internal/obs =="
 go test -race ./internal/obs
 
+echo "== go test -race internal/store =="
+go test -race ./internal/store
+
 echo "== report -trace smoke =="
 trace_out=$(mktemp /tmp/verify-trace.XXXXXX.json)
-trap 'rm -f "$trace_out"' EXIT
+cache_dir=$(mktemp -d /tmp/verify-store.XXXXXX)
+cold_out=$(mktemp /tmp/verify-cold.XXXXXX)
+warm_out=$(mktemp /tmp/verify-warm.XXXXXX)
+warm_err=$(mktemp /tmp/verify-warmerr.XXXXXX)
+trap 'rm -rf "$trace_out" "$cache_dir" "$cold_out" "$warm_out" "$warm_err"' EXIT
 go run ./cmd/report -scale test -skip-slow -trace "$trace_out" >/dev/null
 go run ./scripts/checktrace "$trace_out"
+
+echo "== report result-store cold/warm smoke =="
+go run ./cmd/report -scale test -skip-slow -cache-dir "$cache_dir" >"$cold_out" 2>/dev/null
+go run ./cmd/report -scale test -skip-slow -cache-dir "$cache_dir" >"$warm_out" 2>"$warm_err"
+if ! cmp -s "$cold_out" "$warm_out"; then
+    echo "store smoke: cold and warm runs differ on stdout" >&2
+    diff "$cold_out" "$warm_out" | head -20 >&2
+    exit 1
+fi
+warm_rate=$(grep -o 'storeHitRate=[0-9.]*' "$warm_err" | tail -1 | cut -d= -f2)
+if [ -z "$warm_rate" ]; then
+    echo "store smoke: warm run printed no storeHitRate" >&2
+    exit 1
+fi
+if ! awk -v r="$warm_rate" 'BEGIN { exit !(r >= 0.90) }'; then
+    echo "store smoke: warm store hit rate $warm_rate < 0.90" >&2
+    exit 1
+fi
+echo "store smoke: warm run byte-identical, hit rate $warm_rate"
 
 echo "verify: all gates passed"

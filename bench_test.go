@@ -97,7 +97,7 @@ func pipeline(b *testing.B) (*experiment.Dataset, *experiment.Evaluation, *exper
 			}
 			fmt.Printf("# result store: %s (%d records)\n", dir, pipeStore.Len())
 		}
-		pipeDS, pipeErr = experiment.BuildDatasetStore(context.Background(), sc, pipeStore)
+		pipeDS, pipeErr = experiment.Build(context.Background(), sc, experiment.WithStore(pipeStore))
 		if pipeErr != nil {
 			return
 		}
@@ -630,4 +630,65 @@ func BenchmarkServe_PredictThroughput(b *testing.B) {
 	body += fmt.Sprintf("throughput %.0f req/s, p50 %v, p95 %v", rep.RequestsPerSec, rep.P50, rep.P95)
 	printReport("Serving: predict throughput", body)
 	b.ReportMetric(rep.RequestsPerSec, "req/s")
+}
+
+// BenchmarkServe_PredictBatchThroughput measures the batched inference
+// path: the same seeded schedule as BenchmarkServe_PredictThroughput, but
+// grouped 64 vectors to a request, each answered by one batched kernel
+// call streaming per-item results. Counts stay per-vector, so the pred/s
+// figures compare directly; the benchmark also replays the single-vector
+// schedule on an identically configured server and reports the speedup.
+func BenchmarkServe_PredictBatchThroughput(b *testing.B) {
+	ds, _, _, _ := pipeline(b)
+	pred, err := ds.TrainAll(counters.Advanced)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newServer := func() (*serve.Server, *httptest.Server) {
+		eng, err := serve.NewEngine(pred, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := serve.New(eng, serve.Config{CacheSize: 1024, MaxInflight: 64})
+		ts := httptest.NewServer(srv.Handler())
+		return srv, ts
+	}
+	pool := make([][]float64, 0, len(ds.Phases))
+	for _, id := range ds.Phases {
+		pool = append(pool, ds.FeaturesAdv[id])
+	}
+
+	const batch = 64
+	run := func(size int) serve.LoadReport {
+		srv, ts := newServer()
+		defer ts.Close()
+		defer srv.Close()
+		lg := serve.LoadGen{Requests: 1000, Concurrency: 8, Seed: 2010, Pool: pool, Batch: size}
+		rep, err := lg.Run(ts.URL, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.OK != rep.Requests || rep.ServerErr > 0 || rep.Transport > 0 {
+			b.Errorf("loadgen (batch=%d) saw failures: %+v", size, rep)
+		}
+		return rep
+	}
+
+	single := run(1)
+	var rep serve.LoadReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep = run(batch)
+	}
+	b.StopTimer()
+
+	speedup := rep.RequestsPerSec / single.RequestsPerSec
+	body := fmt.Sprintf("pool=%d phase feature vectors, seed=2010, batch=%d\n", len(pool), batch)
+	body += fmt.Sprintf("requests=%d ok=%d batches=%d (deterministic)\n", rep.Requests, rep.OK, rep.Batches)
+	body += fmt.Sprintf("batched   %8.0f pred/s, p50 %v, p95 %v\n", rep.RequestsPerSec, rep.P50, rep.P95)
+	body += fmt.Sprintf("unbatched %8.0f pred/s, p50 %v, p95 %v\n", single.RequestsPerSec, single.P50, single.P95)
+	body += fmt.Sprintf("speedup %.1fx per-request predictions/sec", speedup)
+	printReport("Serving: batched predict throughput", body)
+	b.ReportMetric(rep.RequestsPerSec, "pred/s")
+	b.ReportMetric(speedup, "speedup")
 }

@@ -7,7 +7,10 @@
 // Endpoints:
 //
 //	POST /v1/predict     counter feature vector -> predicted configuration
-//	                     with per-parameter soft-max probabilities
+//	                     ({"batch": [...]} evaluates many vectors in one
+//	                     batched kernel call and streams per-item results;
+//	                     ?probs=1 adds the per-parameter soft-max
+//	                     probabilities)
 //	GET  /v1/designspace Table I metadata and the serving model's shape
 //	GET  /healthz        liveness + model info + cache stats
 //	GET  /metrics        Prometheus text: request counts, latency
@@ -24,9 +27,10 @@
 //	adaptd [-addr :8080] [-model adaptd.model] [-counter-set advanced|basic]
 //	       [-quantized] [-train-scale test|default] [-cache-dir DIR]
 //	       [-cache 4096] [-max-inflight 64] [-timeout 5s] [-max-body N]
+//	       [-coalesce-window 0] [-coalesce-max 64]
 //	       [-debug] [-log-json] [-log-level info]
 //	       [-loadgen] [-loadgen-requests N] [-loadgen-conc N]
-//	       [-loadgen-pool N] [-seed N]
+//	       [-loadgen-pool N] [-batch N] [-seed N]
 //
 // With -cache-dir, first-boot training runs against the persistent
 // simulation-result store (internal/store): a boot interrupted by SIGINT
@@ -71,6 +75,8 @@ func main() {
 		maxInfl    = flag.Int("max-inflight", 64, "concurrent predicts before 429 backpressure")
 		timeout    = flag.Duration("timeout", 5*time.Second, "per-request deadline")
 		maxBody    = flag.Int64("max-body", 1<<20, "request body byte limit")
+		coWindow   = flag.Duration("coalesce-window", 0, "micro-batching window for concurrent single predicts (0 disables)")
+		coMax      = flag.Int("coalesce-max", 64, "max vectors per coalesced kernel call")
 		debug      = flag.Bool("debug", false, "mount /debug/pprof/, /debug/vars and /debug/trace")
 		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -78,6 +84,7 @@ func main() {
 		lgRequests = flag.Int("loadgen-requests", 2000, "loadgen: total requests")
 		lgConc     = flag.Int("loadgen-conc", 8, "loadgen: concurrent workers")
 		lgPool     = flag.Int("loadgen-pool", 64, "loadgen: distinct feature vectors (repeats exercise the cache)")
+		lgBatch    = flag.Int("batch", 1, "loadgen: feature vectors per request (>= 2 uses the batch payload)")
 		seed       = flag.Uint64("seed", 1, "loadgen schedule seed")
 	)
 	flag.Parse()
@@ -118,15 +125,18 @@ func main() {
 		die(err)
 	}
 	srv := serve.New(eng, serve.Config{
-		ModelPath:   *modelPath,
-		Quantized:   *quantized,
-		CacheSize:   *cacheSize,
-		MaxBody:     *maxBody,
-		Timeout:     *timeout,
-		MaxInflight: *maxInfl,
-		Debug:       *debug,
-		Tracer:      tracer,
+		ModelPath:      *modelPath,
+		Quantized:      *quantized,
+		CacheSize:      *cacheSize,
+		MaxBody:        *maxBody,
+		Timeout:        *timeout,
+		MaxInflight:    *maxInfl,
+		CoalesceWindow: *coWindow,
+		CoalesceMax:    *coMax,
+		Debug:          *debug,
+		Tracer:         tracer,
 	})
+	defer srv.Close()
 	mode := "float64"
 	if *quantized {
 		mode = "8-bit quantized"
@@ -137,7 +147,7 @@ func main() {
 	if *loadgen {
 		// Loadgen binds its own loopback port: it benchmarks the serving
 		// stack in-process rather than exposing -addr.
-		runLoadgen(logger, srv, *lgRequests, *lgConc, *lgPool, *seed)
+		runLoadgen(logger, srv, *lgRequests, *lgConc, *lgPool, *lgBatch, *seed)
 		return
 	}
 
@@ -208,7 +218,7 @@ func bootPredictor(ctx context.Context, logger *slog.Logger, path string, set co
 		prog.Observe(stage, done, total)
 	})
 	defer experiment.SetProgress(nil)
-	ds, err := experiment.BuildDatasetStore(ctx, sc, st)
+	ds, err := experiment.Build(ctx, sc, experiment.WithStore(st))
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +245,7 @@ func bootPredictor(ctx context.Context, logger *slog.Logger, path string, set co
 
 // runLoadgen serves on a local listener and fires the seeded load
 // generator at it, printing the report and the server's own metrics.
-func runLoadgen(logger *slog.Logger, srv *serve.Server, requests, conc, pool int, seed uint64) {
+func runLoadgen(logger *slog.Logger, srv *serve.Server, requests, conc, pool, batch int, seed uint64) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		logger.Error("fatal", "err", err)
@@ -251,8 +261,9 @@ func runLoadgen(logger *slog.Logger, srv *serve.Server, requests, conc, pool int
 		Concurrency: conc,
 		Seed:        seed,
 		Pool:        serve.SyntheticFeatures(eng.Dim(), pool, seed),
+		Batch:       batch,
 	}
-	logger.Info("loadgen", "requests", requests, "workers", conc, "pool", pool, "seed", seed)
+	logger.Info("loadgen", "requests", requests, "workers", conc, "pool", pool, "batch", batch, "seed", seed)
 	rep, err := lg.Run("http://"+ln.Addr().String(), &http.Client{Timeout: 30 * time.Second})
 	if err != nil {
 		logger.Error("fatal", "err", err)

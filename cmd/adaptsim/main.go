@@ -109,7 +109,7 @@ func main() {
 		experiment.SetProgress(func(stage string, done, total int) {
 			prog.Observe(stage, done, total)
 		})
-		ds, err := experiment.BuildDatasetStore(context.Background(), sc, st)
+		ds, err := experiment.Build(context.Background(), sc, experiment.WithStore(st))
 		if err != nil {
 			die(err)
 		}

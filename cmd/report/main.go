@@ -127,7 +127,7 @@ func main() {
 	logger.Info("building dataset",
 		"programs", len(sc.Programs), "phasesPerProgram", sc.PhasesPerProgram,
 		"intervalInsts", sc.IntervalInsts, "sharedConfigs", sc.UniformSamples)
-	ds, err := experiment.BuildDatasetStore(context.Background(), sc, st)
+	ds, err := experiment.Build(context.Background(), sc, experiment.WithStore(st))
 	if err != nil {
 		die(err)
 	}

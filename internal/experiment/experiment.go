@@ -158,27 +158,58 @@ type Dataset struct {
 	BestStatic arch.Config
 }
 
+// Option configures a dataset build. The zero configuration (no options)
+// is a plain in-memory build.
+type Option func(*buildOptions)
+
+type buildOptions struct {
+	store *store.Store
+}
+
+// WithStore attaches a persistent result store to the build (nil is
+// allowed and disables it, so callers can pass an optional store through
+// unconditionally). Every measurement-mode simulation is first looked up
+// in the store and, on a miss, appended to it immediately after running —
+// a build interrupted mid-dataset resumes where it stopped on the next
+// run, and a repeat run at the same scale replays from disk instead of
+// simulating.
+func WithStore(st *store.Store) Option {
+	return func(o *buildOptions) { o.store = st }
+}
+
 // BuildDataset runs the full data-gathering pipeline at the given scale.
+//
+// Deprecated: use Build.
 func BuildDataset(sc Scale) (*Dataset, error) {
-	return BuildDatasetCtx(context.Background(), sc)
+	return Build(context.Background(), sc)
 }
 
-// BuildDatasetCtx is BuildDataset with cooperative cancellation: the
-// pipeline checks ctx between phases (the per-phase granularity keeps a
-// SIGINT during adaptd's first-boot training prompt without threading ctx
-// into the simulator's inner loop). A cancelled build returns ctx.Err()
-// wrapped with the stage it was in.
+// BuildDatasetCtx is BuildDataset with cooperative cancellation.
+//
+// Deprecated: use Build.
 func BuildDatasetCtx(ctx context.Context, sc Scale) (*Dataset, error) {
-	return BuildDatasetStore(ctx, sc, nil)
+	return Build(ctx, sc)
 }
 
-// BuildDatasetStore is BuildDatasetCtx with a persistent result store
-// attached (st may be nil, disabling it). Every measurement-mode
-// simulation is first looked up in the store and, on a miss, appended to
-// it immediately after running — so a build interrupted mid-dataset
-// resumes from where it stopped on the next run, and a repeat run at the
-// same scale replays from disk instead of simulating.
+// BuildDatasetStore is BuildDatasetCtx with a persistent result store.
+//
+// Deprecated: use Build with WithStore.
 func BuildDatasetStore(ctx context.Context, sc Scale, st *store.Store) (*Dataset, error) {
+	return Build(ctx, sc, WithStore(st))
+}
+
+// Build runs the full data-gathering pipeline at the given scale: the
+// single entry point that replaced the BuildDataset/BuildDatasetCtx/
+// BuildDatasetStore trio. The pipeline checks ctx between phases (the
+// per-phase granularity keeps a SIGINT during adaptd's first-boot training
+// prompt without threading ctx into the simulator's inner loop); a
+// cancelled build returns ctx.Err() wrapped with the stage it was in.
+// Behaviour beyond that is opted into per call — see WithStore.
+func Build(ctx context.Context, sc Scale, opts ...Option) (*Dataset, error) {
+	var bo buildOptions
+	for _, opt := range opts {
+		opt(&bo)
+	}
 	sc = sc.withDefaults()
 	ds := &Dataset{
 		Scale:         sc,
@@ -189,7 +220,7 @@ func BuildDatasetStore(ctx context.Context, sc Scale, st *store.Store) (*Dataset
 		FeaturesAdv:   map[PhaseID][]float64{},
 		FeaturesBasic: map[PhaseID][]float64{},
 		ProfileRes:    map[PhaseID]*cpu.Result{},
-		store:         st,
+		store:         bo.store,
 	}
 
 	tr := obs.DefaultTracer()

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 )
@@ -28,6 +29,12 @@ type cacheEntry struct {
 	eng    *Engine
 	config arch.Config
 	probs  [arch.NumParams][]float64
+	// rendered memoises the hit response body (cached:true, which every
+	// lookup after the first produces) per variant: [0] default, [1]
+	// ?probs=1. A decision never changes once cached, so neither do its
+	// bytes; concurrent first renders race benignly to store identical
+	// slices. Keeps the JSON encoder off the hot hit path.
+	rendered [2]atomic.Pointer[[]byte]
 }
 
 // newDecisionCache returns a cache holding up to max entries; max <= 0
@@ -35,6 +42,10 @@ type cacheEntry struct {
 func newDecisionCache(max int) *decisionCache {
 	return &decisionCache{max: max, order: list.New(), items: map[string]*list.Element{}}
 }
+
+// enabled reports whether the cache stores anything at all; the batch path
+// uses it to decide whether intra-batch duplicates would have hit.
+func (c *decisionCache) enabled() bool { return c.max > 0 }
 
 // keyQuantBits is the fixed-point resolution of the cache key: features
 // (normalised into roughly [0,1]) are rounded to 1/2^keyQuantBits. Coarse

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/obs"
+)
+
+// pendingPredict is one cache-missed single-vector request parked in the
+// coalescer, waiting to ride a batched kernel call.
+type pendingPredict struct {
+	eng      *Engine
+	features []float64
+	done     chan coalesceResult
+}
+
+// coalesceResult carries one request's decision back to its handler.
+type coalesceResult struct {
+	config arch.Config
+	probs  [arch.NumParams][]float64
+}
+
+// coalescer implements server-side micro-batching: concurrent
+// single-vector predict requests that miss the decision cache are held for
+// at most the configured window (or until the batch is full) and evaluated
+// in one Engine.PredictBatch call, amortising the pass over the weights.
+// The batched kernel is bit-identical to the per-vector one, so coalescing
+// changes request *grouping* and nothing else: every response is
+// byte-identical to the unbatched path, whatever batches timing produces.
+type coalescer struct {
+	in       chan *pendingPredict
+	stop     chan struct{}
+	stopOnce sync.Once
+	stopped  chan struct{}
+	window   time.Duration
+	max      int
+	metrics  *metrics
+	tracer   *obs.Tracer
+}
+
+// newCoalescer starts the dispatcher goroutine.
+func newCoalescer(window time.Duration, max int, m *metrics, tr *obs.Tracer) *coalescer {
+	if max <= 0 {
+		max = 64
+	}
+	c := &coalescer{
+		in:      make(chan *pendingPredict),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		window:  window,
+		max:     max,
+		metrics: m,
+		tracer:  tr,
+	}
+	go c.run()
+	return c
+}
+
+// predict parks one request until its batch executes. After close it falls
+// back to the direct kernel — same result, no batching.
+func (c *coalescer) predict(eng *Engine, features []float64) (arch.Config, [arch.NumParams][]float64) {
+	p := &pendingPredict{eng: eng, features: features, done: make(chan coalesceResult, 1)}
+	select {
+	case c.in <- p:
+		r := <-p.done
+		return r.config, r.probs
+	case <-c.stop:
+		return eng.Predict(features)
+	}
+}
+
+// close stops the dispatcher and waits for it to drain. Idempotent.
+func (c *coalescer) close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.stopped
+}
+
+// run is the dispatcher: block for the first pending request, gather more
+// until the window expires or the batch is full, then flush.
+func (c *coalescer) run() {
+	defer close(c.stopped)
+	for {
+		var first *pendingPredict
+		select {
+		case first = <-c.in:
+		case <-c.stop:
+			return
+		}
+		batch := []*pendingPredict{first}
+		timer := time.NewTimer(c.window)
+	gather:
+		for len(batch) < c.max {
+			select {
+			case p := <-c.in:
+				batch = append(batch, p)
+			case <-timer.C:
+				break gather
+			case <-c.stop:
+				break gather
+			}
+		}
+		timer.Stop()
+		c.flush(batch)
+	}
+}
+
+// flush runs the gathered requests, one kernel call per distinct engine: a
+// hot-swap can land mid-window, and each request must be answered by the
+// engine its handler validated the feature dimension against.
+func (c *coalescer) flush(batch []*pendingPredict) {
+	for len(batch) > 0 {
+		eng := batch[0].eng
+		var group, rest []*pendingPredict
+		var feats [][]float64
+		for _, p := range batch {
+			if p.eng == eng {
+				group = append(group, p)
+				feats = append(feats, p.features)
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		var sp *obs.Span
+		if c.tracer != nil {
+			sp = c.tracer.StartDetached("predict batch")
+		}
+		configs, probs := eng.PredictBatch(feats)
+		if sp != nil {
+			sp.SetArg("mode", "coalesce").SetArg("n", strconv.Itoa(len(group))).Finish()
+		}
+		c.metrics.batchSize.Observe(float64(len(group)))
+		c.metrics.batches.Inc()
+		for i, p := range group {
+			p.done <- coalesceResult{config: configs[i], probs: probs[i]}
+		}
+		batch = rest
+	}
+}

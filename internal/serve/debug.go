@@ -60,8 +60,7 @@ func registryVars(r *obs.Registry) (map[string]any, error) {
 
 // handleVars serves the expvar-style snapshot.
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	server, err := registryVars(s.metrics.reg)
@@ -92,8 +91,7 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 // handleTrace serves a Chrome trace_event snapshot of the attached
 // tracer (open with chrome://tracing or ui.perfetto.dev).
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	t := s.cfg.Tracer

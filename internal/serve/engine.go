@@ -2,10 +2,12 @@ package serve
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/counters"
+	"repro/internal/softmax"
 )
 
 // Engine is one immutable, swappable serving model: a validated predictor
@@ -49,24 +51,74 @@ func (e *Engine) Quantized() bool { return e.quantized }
 // WeightCount returns the model's total weight count.
 func (e *Engine) WeightCount() int { return e.pred.WeightCount() }
 
+// batchScratch is the reusable per-call working set of PredictBatch: the
+// n x K score matrix the kernels write into. Pooled so a serving hot loop
+// issuing batch after batch allocates nothing for scratch.
+type batchScratch struct {
+	scores []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
 // Predict returns the predicted configuration and, for every parameter,
-// the soft-max distribution over its domain values.
+// the soft-max distribution over its domain values. It is the batch-of-one
+// special case of PredictBatch, so single and batched requests run the
+// exact same float operations.
 func (e *Engine) Predict(features []float64) (arch.Config, [arch.NumParams][]float64) {
-	var probs [arch.NumParams][]float64
-	var ix [arch.NumParams]int
-	for param := arch.Param(0); param < arch.NumParams; param++ {
-		if e.quantized {
-			probs[param] = e.quant.Models[param].Probabilities(features)
-		} else {
-			probs[param] = e.pred.Models[param].Probabilities(features)
+	cfgs, probs := e.PredictBatch([][]float64{features})
+	return cfgs[0], probs[0]
+}
+
+// PredictBatch evaluates n feature vectors together: per parameter, one
+// batched pass over the weight matrix scores every vector (the weight rows
+// stay hot instead of being re-streamed n times), then each vector gets
+// its argmax decision and soft-max distribution. Every vector must have
+// length Dim. Results are bit-identical to n Predict calls — batching is
+// an amortisation, never an approximation — so callers may freely group
+// and regroup requests.
+func (e *Engine) PredictBatch(features [][]float64) ([]arch.Config, [][arch.NumParams][]float64) {
+	n := len(features)
+	for i, f := range features {
+		if len(f) != e.dim {
+			panic(fmt.Sprintf("serve: batch item %d has dimension %d, engine expects %d", i, len(f), e.dim))
 		}
-		best, bi := -1.0, 0
-		for k, p := range probs[param] {
-			if p > best {
-				best, bi = p, k
-			}
-		}
-		ix[param] = bi
 	}
-	return arch.FromIndices(ix), probs
+	configs := make([]arch.Config, n)
+	probs := make([][arch.NumParams][]float64, n)
+	indices := make([][arch.NumParams]int, n)
+	sc := scratchPool.Get().(*batchScratch)
+	defer scratchPool.Put(sc)
+	for param := arch.Param(0); param < arch.NumParams; param++ {
+		var k int
+		if e.quantized {
+			m := e.quant.Models[param]
+			k = m.K
+			sc.scores = m.ScoresBatch(features, sc.scores)
+		} else {
+			m := e.pred.Models[param]
+			k = m.K
+			sc.scores = m.ScoresBatch(features, sc.scores)
+		}
+		// One backing array per parameter holds every vector's
+		// distribution: softmax preserves the argmax, so the decision is
+		// read from the normalised row exactly as Predict always has.
+		flat := make([]float64, n*k)
+		copy(flat, sc.scores)
+		for i := 0; i < n; i++ {
+			row := flat[i*k : i*k+k]
+			softmax.SoftmaxInPlace(row)
+			best, bi := -1.0, 0
+			for j, p := range row {
+				if p > best {
+					best, bi = p, j
+				}
+			}
+			probs[i][param] = row
+			indices[i][param] = bi
+		}
+	}
+	for i := range configs {
+		configs[i] = arch.FromIndices(indices[i])
+	}
+	return configs, probs
 }

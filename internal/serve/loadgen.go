@@ -28,32 +28,39 @@ type LoadGen struct {
 	// Pool is the feature vectors sampled from. Smaller pools mean more
 	// repeats and a hotter decision cache.
 	Pool [][]float64
+	// Batch, when >= 2, groups the schedule into batch requests of this
+	// size (the final one may be smaller): each POST carries Batch feature
+	// vectors and streams back one result document per vector. All report
+	// counts stay per-vector, so batched and unbatched runs compare
+	// directly.
+	Batch int
 }
 
 // LoadReport aggregates one load-generation run. The count fields are a
 // pure function of (Seed, Requests, Pool) and the server's limits; the
 // latency fields are wall-clock measurements.
 type LoadReport struct {
-	Requests  int // issued
+	Requests  int // predictions issued (batch items count individually)
+	Batches   int // HTTP calls that carried a batch payload (0 unbatched)
 	OK        int // 200
 	Rejected  int // 429 (saturation backpressure)
 	ClientErr int // other 4xx
 	ServerErr int // 5xx
-	Transport int // transport-level failures
+	Transport int // transport-level failures (and truncated batch streams)
 	CacheHits int // responses answered from the decision cache
 
 	Elapsed        time.Duration
 	P50, P95, Max  time.Duration
-	RequestsPerSec float64
+	RequestsPerSec float64 // predictions per second
 }
 
 // String renders the report; the first line is deterministic for a seeded
 // run against an unsaturated server.
 func (r LoadReport) String() string {
 	return fmt.Sprintf(
-		"requests=%d ok=%d rejected=%d clientErr=%d serverErr=%d transportErr=%d\n"+
-			"throughput=%.0f req/s  p50=%v p95=%v max=%v  cacheHits=%d",
-		r.Requests, r.OK, r.Rejected, r.ClientErr, r.ServerErr, r.Transport,
+		"requests=%d ok=%d rejected=%d clientErr=%d serverErr=%d transportErr=%d batches=%d\n"+
+			"throughput=%.0f pred/s  p50=%v p95=%v max=%v  cacheHits=%d",
+		r.Requests, r.OK, r.Rejected, r.ClientErr, r.ServerErr, r.Transport, r.Batches,
 		r.RequestsPerSec, r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
 		r.Max.Round(time.Microsecond), r.CacheHits)
 }
@@ -92,20 +99,45 @@ func (lg LoadGen) Run(baseURL string, client *http.Client) (LoadReport, error) {
 		client = http.DefaultClient
 	}
 
-	// Pre-encode each pool vector once and fix the whole schedule up
-	// front, so the request stream is a pure function of the seed.
-	bodies := make([][]byte, len(lg.Pool))
-	for i, f := range lg.Pool {
-		b, err := json.Marshal(PredictRequest{Features: f})
-		if err != nil {
-			return LoadReport{}, err
-		}
-		bodies[i] = b
-	}
+	// Pre-encode every request body and fix the whole schedule up front,
+	// so the request stream is a pure function of (Seed, Requests, Pool,
+	// Batch) regardless of worker interleaving.
 	rng := rand.New(rand.NewPCG(lg.Seed, 0x10ad6e4))
 	schedule := make([]int, lg.Requests)
 	for i := range schedule {
 		schedule[i] = rng.IntN(len(lg.Pool))
+	}
+	type job struct {
+		body  []byte
+		items int
+		batch bool
+	}
+	var jobsList []job
+	if lg.Batch > 1 {
+		for start := 0; start < len(schedule); start += lg.Batch {
+			end := min(start+lg.Batch, len(schedule))
+			b := make([][]float64, 0, end-start)
+			for _, idx := range schedule[start:end] {
+				b = append(b, lg.Pool[idx])
+			}
+			body, err := json.Marshal(PredictRequest{Batch: b})
+			if err != nil {
+				return LoadReport{}, err
+			}
+			jobsList = append(jobsList, job{body: body, items: end - start, batch: true})
+		}
+	} else {
+		bodies := make([][]byte, len(lg.Pool))
+		for i, f := range lg.Pool {
+			b, err := json.Marshal(PredictRequest{Features: f})
+			if err != nil {
+				return LoadReport{}, err
+			}
+			bodies[i] = b
+		}
+		for _, idx := range schedule {
+			jobsList = append(jobsList, job{body: bodies[idx], items: 1})
+		}
 	}
 
 	var (
@@ -114,46 +146,66 @@ func (lg LoadGen) Run(baseURL string, client *http.Client) (LoadReport, error) {
 		latencies []float64
 	)
 	url := baseURL + "/v1/predict"
-	jobs := make(chan int)
+	jobs := make(chan job)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < lg.Concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range jobs {
+			for j := range jobs {
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[idx]))
+				resp, err := client.Post(url, "application/json", bytes.NewReader(j.body))
 				lat := time.Since(t0)
 				mu.Lock()
-				rep.Requests++
+				rep.Requests += j.items
+				if j.batch {
+					rep.Batches++
+				}
 				latencies = append(latencies, float64(lat))
 				if err != nil {
-					rep.Transport++
+					rep.Transport += j.items
 					mu.Unlock()
 					continue
 				}
 				switch {
 				case resp.StatusCode == http.StatusOK:
-					rep.OK++
-					var pr PredictResponse
-					if json.NewDecoder(resp.Body).Decode(&pr) == nil && pr.Cached {
-						rep.CacheHits++
+					// Single responses are one JSON document; batch
+					// responses stream one per item. The same decode loop
+					// reads both. Only the cached flag is inspected, so the
+					// decode target skips the config/probability maps and
+					// the client stays cheap relative to the server under
+					// measurement.
+					dec := json.NewDecoder(resp.Body)
+					n := 0
+					for n < j.items {
+						var pr struct {
+							Cached bool `json:"cached"`
+						}
+						if dec.Decode(&pr) != nil {
+							break
+						}
+						n++
+						if pr.Cached {
+							rep.CacheHits++
+						}
 					}
+					rep.OK += n
+					rep.Transport += j.items - n // truncated stream
 				case resp.StatusCode == http.StatusTooManyRequests:
-					rep.Rejected++
+					rep.Rejected += j.items
 				case resp.StatusCode >= 500:
-					rep.ServerErr++
+					rep.ServerErr += j.items
 				default:
-					rep.ClientErr++
+					rep.ClientErr += j.items
 				}
 				mu.Unlock()
 				resp.Body.Close()
 			}
 		}()
 	}
-	for _, idx := range schedule {
-		jobs <- idx
+	for _, j := range jobsList {
+		jobs <- j
 	}
 	close(jobs)
 	wg.Wait()

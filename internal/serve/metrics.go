@@ -13,6 +13,11 @@ var latencyBuckets = []float64{
 	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 1,
 }
 
+// batchSizeBuckets are the upper bounds of the kernel batch-size
+// histogram: powers of two up to the default coalescing cap and beyond,
+// so the exposition shows how well micro-batching is amortising calls.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
 // metrics is the server's instrumentation, held in a per-server
 // obs.Registry (servers must not share series — tests boot several). All
 // counters and the histogram are atomic, so the predict hot path records
@@ -21,13 +26,18 @@ var latencyBuckets = []float64{
 // small map). PR 1's hand-rolled map+mutex version took the mutex twice
 // per predict.
 type metrics struct {
-	reg       *obs.Registry
-	requests  *obs.CounterVec
-	latency   *obs.Histogram
-	hits      *obs.Counter
-	misses    *obs.Counter
-	saturated *obs.Counter
-	reloads   *obs.Counter
+	reg           *obs.Registry
+	requests      *obs.CounterVec
+	latency       *obs.Histogram
+	hits          *obs.Counter
+	misses        *obs.Counter
+	saturated     *obs.Counter
+	reloads       *obs.Counter
+	batchSize     *obs.Histogram
+	batches       *obs.Counter
+	batchRequests *obs.Counter
+	batchItems    *obs.Counter
+	coalesced     *obs.Counter
 }
 
 // newMetrics builds the server's registry; cacheLen is sampled at
@@ -42,6 +52,12 @@ func newMetrics(cacheLen func() int) *metrics {
 		misses:    reg.Counter("adaptd_cache_misses_total", "Predict decisions computed by the model."),
 		saturated: reg.Counter("adaptd_saturated_total", "Requests rejected with 429 by the concurrency limiter."),
 		reloads:   reg.Counter("adaptd_reloads_total", "Successful predictor hot-swaps."),
+		batchSize: reg.Histogram("adaptd_batch_size",
+			"Feature vectors evaluated per batched kernel call (batch requests and coalesced singles).", batchSizeBuckets),
+		batches:       reg.Counter("adaptd_batches_total", "Batched kernel calls."),
+		batchRequests: reg.Counter("adaptd_batch_requests_total", "Predict requests that carried a batch payload."),
+		batchItems:    reg.Counter("adaptd_batch_items_total", "Feature vectors received inside batch payloads."),
+		coalesced:     reg.Counter("adaptd_coalesced_total", "Single-vector predicts answered through the micro-batching coalescer."),
 	}
 	reg.GaugeFunc("adaptd_cache_entries", "Current LRU cache entries.", func() float64 {
 		return float64(cacheLen())

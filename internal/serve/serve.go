@@ -16,6 +16,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -47,6 +48,14 @@ type Config struct {
 	// MaxInflight bounds concurrent predict requests; excess requests are
 	// rejected with 429 (default 64).
 	MaxInflight int
+	// CoalesceWindow enables server-side micro-batching: single-vector
+	// predicts that miss the decision cache are held up to this long and
+	// evaluated together in one batched kernel call. 0 disables
+	// coalescing. Grouping is timing-dependent; results are not — every
+	// response is byte-identical to the unbatched path.
+	CoalesceWindow time.Duration
+	// CoalesceMax caps the vectors per coalesced kernel call (default 64).
+	CoalesceMax int
 	// Debug mounts the introspection endpoints on the handler: pprof
 	// under /debug/pprof/, an expvar-style metrics snapshot at
 	// /debug/vars, and (with a Tracer) a Chrome trace_event snapshot at
@@ -78,6 +87,7 @@ type Server struct {
 	engine  atomic.Pointer[Engine]
 	cache   *decisionCache
 	metrics *metrics
+	co      *coalescer
 	sem     chan struct{}
 	start   time.Time
 }
@@ -93,7 +103,20 @@ func New(e *Engine, cfg Config) *Server {
 	}
 	s.metrics = newMetrics(s.cache.len)
 	s.engine.Store(e)
+	if cfg.CoalesceWindow > 0 {
+		s.co = newCoalescer(cfg.CoalesceWindow, cfg.CoalesceMax, s.metrics, cfg.Tracer)
+	}
 	return s
+}
+
+// Close stops the coalescer's dispatcher goroutine, if one was started.
+// The server keeps answering (in-flight and later coalesced requests fall
+// back to the direct kernel); Close is goroutine hygiene for shutdown and
+// tests, not a way to refuse traffic.
+func (s *Server) Close() {
+	if s.co != nil {
+		s.co.close()
+	}
 }
 
 // Engine returns the currently serving engine.
@@ -129,7 +152,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/reload", s.instrument("/v1/reload", s.handleReload))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
-	h := http.TimeoutHandler(mux, s.cfg.Timeout, "request deadline exceeded\n")
+	h := http.TimeoutHandler(mux, s.cfg.Timeout, "{\n  \"error\": \"request deadline exceeded\"\n}\n")
 	if !s.cfg.Debug {
 		return h
 	}
@@ -182,29 +205,45 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
-// PredictRequest is the POST /v1/predict payload: a counter feature
-// vector, optionally tagged with the counter set it was built from so the
-// server can reject features from the wrong encoding.
+// allowMethod enforces a handler's single allowed method. On a mismatch it
+// answers 405 with the uniform JSON error envelope and a correct Allow
+// header (RFC 9110 §15.5.6 requires one) — every route shares this path,
+// so no handler can drift back to a bare text error.
+func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s; use %s", r.Method, r.URL.Path, method)
+	return false
+}
+
+// PredictRequest is the POST /v1/predict payload: either one counter
+// feature vector (Features) or several (Batch) — never both — optionally
+// tagged with the counter set they were built from so the server can
+// reject features from the wrong encoding.
 type PredictRequest struct {
-	Features []float64 `json:"features"`
-	Set      string    `json:"set,omitempty"`
+	Features []float64   `json:"features,omitempty"`
+	Batch    [][]float64 `json:"batch,omitempty"`
+	Set      string      `json:"set,omitempty"`
 }
 
 // PredictResponse is the decision: the predicted configuration (parameter
-// name -> Table I value) and the per-parameter soft-max distributions over
-// each parameter's domain.
+// name -> Table I value) and, when the request asked for them with
+// ?probs=1, the per-parameter soft-max distributions over each parameter's
+// domain (they dominate the response size, so they are opt-in).
 type PredictResponse struct {
 	Config        map[string]int       `json:"config"`
-	Probabilities map[string][]float64 `json:"probabilities"`
+	Probabilities map[string][]float64 `json:"probabilities,omitempty"`
 	Set           string               `json:"set"`
 	Quantized     bool                 `json:"quantized"`
 	Cached        bool                 `json:"cached"`
 }
 
-// handlePredict answers one feature vector with a configuration decision.
+// handlePredict answers one feature vector — or a batch of them — with
+// configuration decisions.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
 	select {
@@ -228,10 +267,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
 		return
 	}
+	wantProbs := r.URL.Query().Get("probs") == "1"
 
 	eng := s.engine.Load()
 	if req.Set != "" && req.Set != eng.Set().String() {
 		writeError(w, http.StatusBadRequest, "features are from the %q counter set but the model serves %q", req.Set, eng.Set())
+		return
+	}
+	if req.Batch != nil {
+		if req.Features != nil {
+			writeError(w, http.StatusBadRequest, `"features" and "batch" are mutually exclusive`)
+			return
+		}
+		s.handlePredictBatch(w, eng, req.Batch, wantProbs, started)
 		return
 	}
 	if len(req.Features) != eng.Dim() {
@@ -239,31 +287,171 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := cacheKey(req.Features)
-	entry, hit := s.cache.get(key)
-	if hit && entry.eng == eng {
+	entry, hit := s.resolveSingle(eng, req.Features)
+	s.metrics.latency.Observe(time.Since(started).Seconds())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(s.renderResponse(eng, entry, hit, wantProbs))
+}
+
+// resolveSingle answers one feature vector through the decision cache and,
+// on a miss, the coalescer (when enabled) or the direct kernel.
+func (s *Server) resolveSingle(eng *Engine, features []float64) (entry *cacheEntry, hit bool) {
+	key := cacheKey(features)
+	if entry, hit := s.cache.get(key); hit && entry.eng == eng {
 		s.metrics.hits.Inc()
+		return entry, true
+	}
+	var cfg arch.Config
+	var probs [arch.NumParams][]float64
+	if s.co != nil {
+		cfg, probs = s.co.predict(eng, features)
+		s.metrics.coalesced.Inc()
 	} else {
-		cfg, probs := eng.Predict(req.Features)
-		entry = &cacheEntry{key: key, eng: eng, config: cfg, probs: probs}
-		s.cache.put(entry)
-		s.metrics.misses.Inc()
-		hit = false
+		cfg, probs = eng.Predict(features)
+	}
+	entry = &cacheEntry{key: key, eng: eng, config: cfg, probs: probs}
+	s.cache.put(entry)
+	s.metrics.misses.Inc()
+	return entry, false
+}
+
+// handlePredictBatch answers a validated batch request: items are resolved
+// against the decision cache individually, every miss is evaluated in one
+// batched kernel call, and the results stream back as one JSON document
+// per item (NDJSON) — each document byte-identical to the response a
+// single-vector request for that item would have produced, cached flag
+// included. A dimension error anywhere rejects the whole batch, naming the
+// offending index.
+func (s *Server) handlePredictBatch(w http.ResponseWriter, eng *Engine, batch [][]float64, wantProbs bool, started time.Time) {
+	if len(batch) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	for i, f := range batch {
+		if len(f) != eng.Dim() {
+			writeError(w, http.StatusBadRequest, "batch item %d has dimension %d, model expects %d (%s counter set); whole batch rejected", i, len(f), eng.Dim(), eng.Set())
+			return
+		}
+	}
+	s.metrics.batchRequests.Inc()
+	s.metrics.batchItems.Add(uint64(len(batch)))
+
+	type batchSlot struct {
+		entry  *cacheEntry
+		cached bool
+	}
+	slots := make([]batchSlot, len(batch))
+	var missFeats [][]float64
+	var missEntries []*cacheEntry
+	// firstMiss makes intra-batch duplicates behave exactly as sequential
+	// single requests would: the first occurrence computes, later ones
+	// report cached — but only while the cache is enabled, because with it
+	// disabled sequential singles recompute every time.
+	var firstMiss map[string]*cacheEntry
+	if s.cache.enabled() {
+		firstMiss = map[string]*cacheEntry{}
+	}
+	for i, f := range batch {
+		key := cacheKey(f)
+		if entry, hit := s.cache.get(key); hit && entry.eng == eng {
+			s.metrics.hits.Inc()
+			slots[i] = batchSlot{entry, true}
+			continue
+		}
+		if entry, dup := firstMiss[key]; dup {
+			s.metrics.hits.Inc()
+			slots[i] = batchSlot{entry, true}
+			continue
+		}
+		entry := &cacheEntry{key: key, eng: eng}
+		if firstMiss != nil {
+			firstMiss[key] = entry
+		}
+		missFeats = append(missFeats, f)
+		missEntries = append(missEntries, entry)
+		slots[i] = batchSlot{entry, false}
 	}
 
+	if len(missFeats) > 0 {
+		var sp *obs.Span
+		if s.cfg.Tracer != nil {
+			sp = s.cfg.Tracer.StartDetached("predict batch")
+		}
+		configs, probs := eng.PredictBatch(missFeats)
+		if sp != nil {
+			sp.SetArg("mode", "batch").SetArg("n", strconv.Itoa(len(missFeats))).Finish()
+		}
+		s.metrics.batchSize.Observe(float64(len(missFeats)))
+		s.metrics.batches.Inc()
+		for i, entry := range missEntries {
+			entry.config = configs[i]
+			entry.probs = probs[i]
+			s.cache.put(entry)
+			s.metrics.misses.Inc()
+		}
+	}
+
+	s.metrics.latency.Observe(time.Since(started).Seconds())
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	// Flush periodically rather than per item: one flush per item is one
+	// syscall per item, which on a single-core host erases the batching
+	// win. Chunks of 64 keep results streaming on huge batches while the
+	// common case goes out in one write.
+	flusher, _ := w.(http.Flusher)
+	for i, slot := range slots {
+		_, _ = w.Write(s.renderResponse(eng, slot.entry, slot.cached, wantProbs))
+		if flusher != nil && (i+1)%64 == 0 {
+			flusher.Flush()
+		}
+	}
+}
+
+// renderResponse returns the JSON body for one decision — exactly the bytes
+// writeJSON would emit. Hit responses (cached:true) are memoised on the
+// entry per probs variant, so a hot cache also skips the encoder, not just
+// the kernel; miss responses (cached:false, produced once per decision) are
+// rendered fresh.
+func (s *Server) renderResponse(eng *Engine, entry *cacheEntry, cached, wantProbs bool) []byte {
+	variant := 0
+	if wantProbs {
+		variant = 1
+	}
+	if cached {
+		if b := entry.rendered[variant].Load(); b != nil {
+			return *b
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.predictResponse(eng, entry, cached, wantProbs))
+	b := buf.Bytes()
+	if cached {
+		entry.rendered[variant].Store(&b)
+	}
+	return b
+}
+
+// predictResponse renders one decision; probabilities only on request.
+func (s *Server) predictResponse(eng *Engine, entry *cacheEntry, cached, wantProbs bool) PredictResponse {
 	resp := PredictResponse{
-		Config:        map[string]int{},
-		Probabilities: map[string][]float64{},
-		Set:           eng.Set().String(),
-		Quantized:     eng.Quantized(),
-		Cached:        hit,
+		Config:    map[string]int{},
+		Set:       eng.Set().String(),
+		Quantized: eng.Quantized(),
+		Cached:    cached,
+	}
+	if wantProbs {
+		resp.Probabilities = map[string][]float64{}
 	}
 	for p := arch.Param(0); p < arch.NumParams; p++ {
 		resp.Config[p.String()] = entry.config[p]
-		resp.Probabilities[p.String()] = entry.probs[p]
+		if wantProbs {
+			resp.Probabilities[p.String()] = entry.probs[p]
+		}
 	}
-	s.metrics.latency.Observe(time.Since(started).Seconds())
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // DesignSpaceResponse is the GET /v1/designspace payload: Table I.
@@ -296,8 +484,7 @@ type ModelInfo struct {
 
 // handleDesignSpace serves Table I metadata plus the serving model shape.
 func (s *Server) handleDesignSpace(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	eng := s.engine.Load()
@@ -331,8 +518,7 @@ type ReloadResponse struct {
 
 // handleReload re-reads the model file and swaps it in atomically.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
 	if s.cfg.ModelPath == "" {
@@ -379,8 +565,7 @@ type HealthResponse struct {
 
 // handleHealthz reports liveness and the serving model.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	eng := s.engine.Load()
@@ -400,8 +585,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")

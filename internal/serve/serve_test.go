@@ -56,6 +56,7 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	s := New(eng, cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
 	return s, ts
 }
 
@@ -72,9 +73,10 @@ func predictBody(t testing.TB, d int, v float64) []byte {
 	return b
 }
 
-func postPredict(t testing.TB, ts *httptest.Server, body []byte) (*http.Response, []byte) {
+// postPath POSTs a JSON body to the given path (query string allowed).
+func postPath(t testing.TB, ts *httptest.Server, path string, body []byte) (*http.Response, []byte) {
 	t.Helper()
-	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,10 +88,15 @@ func postPredict(t testing.TB, ts *httptest.Server, body []byte) (*http.Response
 	return resp, data
 }
 
+func postPredict(t testing.TB, ts *httptest.Server, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	return postPath(t, ts, "/v1/predict", body)
+}
+
 func TestPredictReturnsValidConfig(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	d := counters.Dim(counters.Basic)
-	resp, data := postPredict(t, ts, predictBody(t, d, 1))
+	resp, data := postPath(t, ts, "/v1/predict?probs=1", predictBody(t, d, 1))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, data)
 	}
@@ -124,6 +131,40 @@ func TestPredictReturnsValidConfig(t *testing.T) {
 	}
 	if err := cfg.Check(); err != nil {
 		t.Errorf("predicted config invalid: %v", err)
+	}
+}
+
+// TestPredictProbabilitiesOptIn asserts the distributions only appear with
+// ?probs=1: the default response omits the field entirely, and the opted-in
+// body is unchanged by the flag's existence for everything else.
+func TestPredictProbabilitiesOptIn(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	d := counters.Dim(counters.Basic)
+	body := predictBody(t, d, 1)
+	_, plain := postPredict(t, ts, body)
+	if strings.Contains(string(plain), `"probabilities"`) {
+		t.Errorf("default response carries probabilities:\n%s", plain)
+	}
+	_, withProbs := postPath(t, ts, "/v1/predict?probs=1", body)
+	var pr PredictResponse
+	if err := json.Unmarshal(withProbs, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Probabilities) != int(arch.NumParams) {
+		t.Errorf("?probs=1 returned %d distributions, want %d", len(pr.Probabilities), arch.NumParams)
+	}
+	if len(plain) >= len(withProbs) {
+		t.Errorf("default response (%d bytes) not smaller than ?probs=1 (%d bytes)", len(plain), len(withProbs))
+	}
+	// The two responses agree on everything but the distributions.
+	var plainPR PredictResponse
+	if err := json.Unmarshal(plain, &plainPR); err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range pr.Config {
+		if plainPR.Config[name] != v {
+			t.Errorf("config differs between probs modes for %s", name)
+		}
 	}
 }
 

@@ -84,6 +84,38 @@ func (m *Model) Scores(x []float64, out []float64) []float64 {
 	return out
 }
 
+// ScoresBatch computes the linear scores of n feature vectors in a single
+// pass over the weight matrix: out is (or becomes) an n x K row-major
+// matrix, row i holding the scores of xs[i]. The weight row for feature i
+// is loaded once and applied to every vector while it is hot, which is
+// what makes batched serving cheaper than n Scores calls. Per vector, the
+// accumulation order over features is exactly the one Scores uses, so the
+// batched scores are bit-identical to the per-vector ones.
+func (m *Model) ScoresBatch(xs [][]float64, out []float64) []float64 {
+	need := len(xs) * m.K
+	if cap(out) < need {
+		out = make([]float64, need)
+	}
+	out = out[:need]
+	for i := range out {
+		out[i] = 0
+	}
+	for i := 0; i < m.D; i++ {
+		row := m.W[i*m.K : i*m.K+m.K]
+		for n, x := range xs {
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			dst := out[n*m.K : n*m.K+m.K]
+			for k, w := range row {
+				dst[k] += w * xi
+			}
+		}
+	}
+	return out
+}
+
 // Predict returns the argmax class for x (paper eq. 8-9: the hard decision
 // needs no exponentiation).
 func (m *Model) Predict(x []float64) int {
@@ -100,9 +132,11 @@ func (m *Model) Predict(x []float64) int {
 	return bi
 }
 
-// Probabilities returns the full soft-max distribution for x.
-func (m *Model) Probabilities(x []float64) []float64 {
-	s := m.Scores(x, nil)
+// SoftmaxInPlace normalises a score vector into the soft-max distribution
+// it implies, in place. Both Probabilities methods and the batched serving
+// path funnel through it so their float operations (and therefore their
+// serialized output) are identical.
+func SoftmaxInPlace(s []float64) {
 	maxS := math.Inf(-1)
 	for _, v := range s {
 		if v > maxS {
@@ -117,6 +151,12 @@ func (m *Model) Probabilities(x []float64) []float64 {
 	for k := range s {
 		s[k] /= total
 	}
+}
+
+// Probabilities returns the full soft-max distribution for x.
+func (m *Model) Probabilities(x []float64) []float64 {
+	s := m.Scores(x, nil)
+	SoftmaxInPlace(s)
 	return s
 }
 
@@ -359,6 +399,37 @@ func (q *Quantized) Scores(x []float64, out []float64) []float64 {
 	return out
 }
 
+// ScoresBatch is the 8-bit counterpart of Model.ScoresBatch: one pass over
+// the int8 weight matrix scoring every vector, bit-identical per vector to
+// Scores (same accumulation order, same trailing Scale multiply).
+func (q *Quantized) ScoresBatch(xs [][]float64, out []float64) []float64 {
+	need := len(xs) * q.K
+	if cap(out) < need {
+		out = make([]float64, need)
+	}
+	out = out[:need]
+	for i := range out {
+		out[i] = 0
+	}
+	for i := 0; i < q.D; i++ {
+		row := q.W[i*q.K : i*q.K+q.K]
+		for n, x := range xs {
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			dst := out[n*q.K : n*q.K+q.K]
+			for k, w := range row {
+				dst[k] += float64(w) * xi
+			}
+		}
+	}
+	for i := range out {
+		out[i] *= q.Scale
+	}
+	return out
+}
+
 // Predict returns the argmax class using the quantised weights.
 func (q *Quantized) Predict(x []float64) int {
 	scores := q.Scores(x, nil)
@@ -375,20 +446,7 @@ func (q *Quantized) Predict(x []float64) int {
 // scores — the serving path's confidence estimate for 8-bit deployments.
 func (q *Quantized) Probabilities(x []float64) []float64 {
 	s := q.Scores(x, nil)
-	maxS := math.Inf(-1)
-	for _, v := range s {
-		if v > maxS {
-			maxS = v
-		}
-	}
-	total := 0.0
-	for k, v := range s {
-		s[k] = math.Exp(v - maxS)
-		total += s[k]
-	}
-	for k := range s {
-		s[k] /= total
-	}
+	SoftmaxInPlace(s)
 	return s
 }
 

@@ -308,3 +308,96 @@ func TestTrainingImprovesLikelihood(t *testing.T) {
 		t.Errorf("training did not improve log-likelihood: %.2f vs %.2f", ll(trained), ll(init))
 	}
 }
+
+// randomBatch draws n dense feature vectors (with some exact zeros, which
+// the kernels skip) of dimension d.
+func randomBatch(d, n int, rng *rand.Rand) [][]float64 {
+	xs := make([][]float64, n)
+	for i := range xs {
+		v := make([]float64, d)
+		for j := range v {
+			if rng.IntN(4) == 0 {
+				continue // exercise the xi==0 skip path
+			}
+			v[j] = rng.NormFloat64()
+		}
+		v[d-1] = 1
+		xs[i] = v
+	}
+	return xs
+}
+
+// TestScoresBatchBitIdentical pins the batched kernel's contract: for every
+// vector, ScoresBatch must produce the exact bits Scores produces, so that
+// batching is an amortisation, never an approximation.
+func TestScoresBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	m, err := Train(4, 3, separable(300, rng), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.Quantize()
+	for _, n := range []int{1, 2, 7, 64} {
+		xs := randomBatch(4, n, rng)
+		batch := m.ScoresBatch(xs, nil)
+		qbatch := q.ScoresBatch(xs, nil)
+		if len(batch) != n*3 || len(qbatch) != n*3 {
+			t.Fatalf("n=%d: batch score length %d/%d, want %d", n, len(batch), len(qbatch), n*3)
+		}
+		var single, qsingle []float64
+		for i, x := range xs {
+			single = m.Scores(x, single)
+			qsingle = q.Scores(x, qsingle)
+			for k := 0; k < 3; k++ {
+				if got, want := batch[i*3+k], single[k]; got != want {
+					t.Errorf("n=%d float vector %d class %d: batch %v != single %v", n, i, k, got, want)
+				}
+				if got, want := qbatch[i*3+k], qsingle[k]; got != want {
+					t.Errorf("n=%d quantized vector %d class %d: batch %v != single %v", n, i, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestScoresBatchReusesBuffer checks the preallocation contract.
+func TestScoresBatchReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	m, err := Train(4, 3, separable(100, rng), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := randomBatch(4, 5, rng)
+	buf := make([]float64, 0, 64)
+	out := m.ScoresBatch(xs, buf)
+	if &out[:1][0] != &buf[:1][0] {
+		t.Error("ScoresBatch did not reuse the provided buffer despite sufficient capacity")
+	}
+}
+
+// TestSoftmaxInPlaceMatchesProbabilities ties the shared normaliser to the
+// historical Probabilities output.
+func TestSoftmaxInPlaceMatchesProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	m, err := Train(4, 3, separable(100, rng), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range randomBatch(4, 10, rng) {
+		want := m.Probabilities(x)
+		s := m.Scores(x, nil)
+		SoftmaxInPlace(s)
+		for k := range want {
+			if s[k] != want[k] {
+				t.Errorf("SoftmaxInPlace diverges from Probabilities at class %d: %v != %v", k, s[k], want[k])
+			}
+		}
+		sum := 0.0
+		for _, p := range s {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("probabilities sum to %v", sum)
+		}
+	}
+}

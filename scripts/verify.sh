@@ -60,4 +60,27 @@ if ! awk -v r="$warm_rate" 'BEGIN { exit !(r >= 0.90) }'; then
 fi
 echo "store smoke: warm run byte-identical, hit rate $warm_rate"
 
+echo "== adaptd batch loadgen smoke =="
+# Boot the daemon against the warm result store (training replays from
+# disk), fire the deterministic load generator in batch mode, and require a
+# clean report plus a populated batch-size histogram in the metrics dump.
+model_dir=$(mktemp -d /tmp/verify-adaptd.XXXXXX)
+loadgen_out=$(mktemp /tmp/verify-loadgen.XXXXXX)
+trap 'rm -rf "$trace_out" "$cache_dir" "$cold_out" "$warm_out" "$warm_err" "$model_dir" "$loadgen_out"' EXIT
+go run ./cmd/adaptd -model "$model_dir/adaptd.model" -counter-set basic \
+    -train-scale test -cache-dir "$cache_dir" \
+    -loadgen -loadgen-requests 512 -batch 64 >"$loadgen_out" 2>/dev/null
+if ! grep -q 'requests=512 ok=512 rejected=0 clientErr=0 serverErr=0 transportErr=0' "$loadgen_out"; then
+    echo "batch loadgen smoke: report shows errors or losses" >&2
+    grep 'requests=' "$loadgen_out" >&2 || cat "$loadgen_out" >&2
+    exit 1
+fi
+batch_count=$(grep -o '^adaptd_batch_size_count [0-9]*' "$loadgen_out" | awk '{print $2}')
+if [ -z "$batch_count" ] || [ "$batch_count" -eq 0 ]; then
+    echo "batch loadgen smoke: adaptd_batch_size_count missing or zero" >&2
+    grep 'adaptd_batch' "$loadgen_out" >&2 || true
+    exit 1
+fi
+echo "batch loadgen smoke: 512/512 ok, $batch_count batched kernel calls"
+
 echo "verify: all gates passed"

@@ -7,6 +7,7 @@
 //	report [-scale test|default] [-programs mcf,swim,...] [-phases N]
 //	       [-interval N] [-uniform N] [-skip-slow] [-cache-dir DIR]
 //	       [-trace out.json] [-log-json] [-log-level info]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Tables and figures go to stdout; logs (structured, via internal/obs) go
 // to stderr — including the result-store statistics, so two runs against
@@ -20,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -45,10 +48,46 @@ func main() {
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, *logJSON, obs.ParseLevel(*logLevel))
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			logger.Error("fatal", "err", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			logger.Error("fatal", "err", err)
+			os.Exit(1)
+		}
+	}
+	// stopProfiles flushes both profiles; it runs on the fatal path too, so
+	// a run killed by an error still leaves usable profiles behind.
+	stopProfiles := func() {
+		if *cpuProf != "" {
+			pprof.StopCPUProfile()
+			logger.Info("cpu profile written", "path", *cpuProf)
+		}
+		if *memProf != "" {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				logger.Error("creating heap profile", "err", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				logger.Error("writing heap profile", "err", err)
+				return
+			}
+			logger.Info("heap profile written", "path", *memProf)
+		}
+	}
 
 	tr := obs.DefaultTracer()
 	if *tracePath != "" {
@@ -73,6 +112,7 @@ func main() {
 	die := func(err error) {
 		logger.Error("fatal", "err", err)
 		writeTrace()
+		stopProfiles()
 		os.Exit(1)
 	}
 
@@ -261,4 +301,5 @@ func main() {
 			"dropped", s.Dropped, "compactions", s.Compactions)
 	}
 	writeTrace()
+	stopProfiles()
 }

@@ -1,0 +1,62 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// benchAddrs builds a deterministic access stream with realistic locality:
+// mostly a hot region with a cold tail, the shape Profiler and Cache see
+// from the workload generator.
+func benchAddrs(n int) []uint32 {
+	rng := rand.New(rand.NewPCG(11, 13))
+	addrs := make([]uint32, n)
+	for i := range addrs {
+		if rng.Float64() < 0.9 {
+			addrs[i] = uint32(rng.Uint64N(64<<10)) &^ 3
+		} else {
+			addrs[i] = uint32(rng.Uint64N(8<<20)) &^ 3
+		}
+	}
+	return addrs
+}
+
+// BenchmarkCacheAccess times the raw set-associative lookup/fill path.
+func BenchmarkCacheAccess(b *testing.B) {
+	addrs := benchAddrs(1 << 16)
+	c := MustNewCache(64, 2, L1LineBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&(1<<16-1)])
+	}
+}
+
+// BenchmarkHierarchyAccess times a full L1D->L2 data lookup.
+func BenchmarkHierarchyAccess(b *testing.B) {
+	addrs := benchAddrs(1 << 16)
+	h, err := NewHierarchy(32, 32, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessData(addrs[i&(1<<16-1)])
+	}
+}
+
+// BenchmarkProfilerObserve times the reuse-distance profiling path (the
+// per-access cost of counter collection).
+func BenchmarkProfilerObserve(b *testing.B) {
+	addrs := benchAddrs(1 << 16)
+	p, err := NewProfiler(32, L1LineBytes, 8, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(addrs[i&(1<<16-1)])
+	}
+}

@@ -246,10 +246,14 @@ type Profiler struct {
 
 	sampleEvery uint32 // sample sets where set % sampleEvery == 0
 
-	clock        uint64
-	lastBlock    map[uint64]uint64
-	lastSet      map[uint32]uint64
-	lastReduced  map[uint32]uint64
+	clock uint64
+	// Last-touch tables: an open-addressed table for the sparse block
+	// space, direct-indexed arrays (clock value, 0 = never seen; the
+	// clock is pre-incremented so 0 is unambiguous) for the dense set
+	// spaces. All were Go maps before the hot-path overhaul.
+	lastBlock    *ReuseTable
+	lastSet      []uint64 // indexed by set
+	lastReduced  []uint64 // indexed by reduced set
 	stack        []uint64 // LRU stack of block addresses, most recent first
 	maxStackSize int
 }
@@ -281,9 +285,9 @@ func NewProfiler(sizeKB, lineBytes, reducedSizeKB, sampledSets int) (*Profiler, 
 		SetReuse:     stats.NewHistogram(HistBins),
 		ReducedSets:  stats.NewHistogram(HistBins),
 		sampleEvery:  uint32(sets / sampledSets),
-		lastBlock:    map[uint64]uint64{},
-		lastSet:      map[uint32]uint64{},
-		lastReduced:  map[uint32]uint64{},
+		lastBlock:    NewReuseTable(1024),
+		lastSet:      make([]uint64, sets),
+		lastReduced:  make([]uint64, redSets),
 		maxStackSize: 8192,
 	}
 	for ls := lineBytes; ls > 1; ls >>= 1 {
@@ -327,14 +331,13 @@ func (p *Profiler) Observe(addr uint32) {
 			p.stack[0] = block
 		}
 
-		if last, ok := p.lastBlock[block]; ok {
+		if last, ok := p.lastBlock.Swap(block, p.clock); ok {
 			p.BlockReuse.Add(stats.Log2Bin(p.clock-last, HistBins-1))
 		} else {
 			p.BlockReuse.Add(HistBins - 1)
 		}
-		p.lastBlock[block] = p.clock
 
-		if last, ok := p.lastSet[set]; ok {
+		if last := p.lastSet[set]; last != 0 {
 			p.SetReuse.Add(stats.Log2Bin(p.clock-last, HistBins-1))
 		} else {
 			p.SetReuse.Add(HistBins - 1)
@@ -345,7 +348,7 @@ func (p *Profiler) Observe(addr uint32) {
 	// Reduced-set histogram samples on the reduced mapping so every
 	// reduced set observed maps deterministically.
 	if red%p.sampleEvery == 0 || p.sampleEvery >= p.reducedSets {
-		if last, ok := p.lastReduced[red]; ok {
+		if last := p.lastReduced[red]; last != 0 {
 			p.ReducedSets.Add(stats.Log2Bin(p.clock-last, HistBins-1))
 		} else {
 			p.ReducedSets.Add(HistBins - 1)

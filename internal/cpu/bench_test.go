@@ -1,0 +1,68 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+// benchTrace caches one interval per workload so benchmark iterations pay
+// for simulation, not trace generation.
+func benchTrace(b *testing.B, program string, phase, n int) []trace.Inst {
+	b.Helper()
+	g, err := trace.NewGenerator(program, phase)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g.Interval(n)
+}
+
+// benchSim times Sim.Run end to end and reports ns per simulated
+// instruction — the sim-core throughput number scripts/bench.sh tracks.
+func benchSim(b *testing.B, program string, cfg arch.Config, opts Options) {
+	const n = 8000
+	insts := benchTrace(b, program, 0, n)
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := NewSliceSource(insts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset()
+		if _, err := s.Run(src, n, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/inst")
+}
+
+// BenchmarkSimRun is the canonical sim-core throughput benchmark:
+// measurement-mode runs (no counter collection) across the behaviours that
+// dominate dataset construction.
+func BenchmarkSimRun(b *testing.B) {
+	b.Run("baseline/gzip", func(b *testing.B) {
+		benchSim(b, "gzip", arch.Baseline(), Options{})
+	})
+	b.Run("baseline/mcf-membound", func(b *testing.B) {
+		benchSim(b, "mcf", arch.Baseline(), Options{})
+	})
+	b.Run("baseline/parser-branchy", func(b *testing.B) {
+		benchSim(b, "parser", arch.Baseline(), Options{})
+	})
+	b.Run("min/swim", func(b *testing.B) {
+		benchSim(b, "swim", arch.MinConfig(), Options{})
+	})
+	b.Run("profiling/applu", func(b *testing.B) {
+		benchSim(b, "applu", arch.Profiling(), Options{})
+	})
+}
+
+// BenchmarkSimRunCollect times a profiling-configuration run with counter
+// collection (the per-phase profiling stage of dataset construction).
+func BenchmarkSimRunCollect(b *testing.B) {
+	benchSim(b, "vortex", arch.Profiling(), Options{Collect: true, SampledSets: 32})
+}

@@ -84,7 +84,23 @@ type collector struct {
 
 	// BTB reuse tracking.
 	branchClock  uint64
-	lastBranchAt map[uint32]uint64
+	lastBranchAt *cache.ReuseTable
+
+	// Cached speculation-walk increments: the per-cycle walk over the
+	// in-flight window only changes when the window does, so the sums it
+	// contributes are recomputed only when runState.windowGen moves.
+	specGen               uint64
+	specValid             bool
+	iqOccInc, iqSpecInc   uint64
+	lsqOccInc, lsqSpecInc uint64
+
+	// Occupancy bins share the windowGen cache, and consecutive cycles
+	// with an identical bin signature are run-length batched into one
+	// AddN per histogram. Histogram counts are integers, so batched adds
+	// are exactly the per-cycle adds.
+	robBin, iqBin, lsqBin, intBin, fpBin int
+	lastSig                              uint64
+	sigRun                               uint64
 }
 
 // newCollector builds the collector for a profiled run on cfg.
@@ -114,7 +130,7 @@ func newCollector(cfg arch.Config, sampledSets int) (*collector, error) {
 		icache:       ic,
 		dcache:       dc,
 		l2:           l2,
-		lastBranchAt: map[uint32]uint64{},
+		lastBranchAt: cache.NewReuseTable(256),
 	}
 	c.raw = RawCounters{
 		ALUUsage:     stats.NewHistogram(ALUBins),
@@ -171,62 +187,110 @@ func (c *collector) issued(st *runState, e *entry, nsrc int) {
 // branchFetched records the BTB reuse distance stream.
 func (c *collector) branchFetched(in trace.Inst) {
 	c.branchClock++
-	if last, ok := c.lastBranchAt[in.PC]; ok {
+	if last, ok := c.lastBranchAt.Swap(uint64(in.PC), c.branchClock); ok {
 		c.raw.BTBReuse.Add(stats.Log2Bin(c.branchClock-last, BTBReuseBins-1))
 	} else {
 		c.raw.BTBReuse.Add(BTBReuseBins - 1)
 	}
-	c.lastBranchAt[in.PC] = c.branchClock
 }
 
 // perCycle samples occupancy and usage histograms once per cycle.
 func (c *collector) perCycle(s *Sim, st *runState) {
-	c.raw.ROBOcc.Add(occBin(st.robCount, maxROBOcc))
-	c.raw.IQOcc.Add(occBin(st.iqCount, maxQueueOcc))
-	c.raw.LSQOcc.Add(occBin(st.lsqCount, maxQueueOcc))
-	c.raw.IntRegUsage.Add(occBin(trace.NumIntRegs+st.allocInt, maxRegOcc))
-	c.raw.FpRegUsage.Add(occBin(trace.NumFpRegs+st.allocFp, maxRegOcc))
-	if c.rdThisCycle >= RdPortBins {
-		c.rdThisCycle = RdPortBins - 1
+	// Speculation occupancy and queue-occupancy bins: both are pure in the
+	// window contents, so they are recomputed only when windowGen reports
+	// a change (dispatch, issue, commit, resolve or flush).
+	if !c.specValid || c.specGen != st.windowGen {
+		c.robBin = occBin(st.robCount, maxROBOcc)
+		c.iqBin = occBin(st.iqCount, maxQueueOcc)
+		c.lsqBin = occBin(st.lsqCount, maxQueueOcc)
+		c.intBin = occBin(trace.NumIntRegs+st.allocInt, maxRegOcc)
+		c.fpBin = occBin(trace.NumFpRegs+st.allocFp, maxRegOcc)
+		c.iqOccInc, c.iqSpecInc, c.lsqOccInc, c.lsqSpecInc = 0, 0, 0, 0
+		if st.robCount > 0 {
+			spec := false
+			idx := int(st.headIdx)
+			n := len(st.rob)
+			for seq := st.headSeq; seq < st.nextSeq; seq++ {
+				e := &st.rob[idx]
+				idx++
+				if idx == n {
+					idx = 0
+				}
+				if e.inIQ {
+					c.iqOccInc++
+					if spec || e.wrongPath {
+						c.iqSpecInc++
+					}
+				}
+				if e.inLSQ {
+					c.lsqOccInc++
+					if spec || e.wrongPath {
+						c.lsqSpecInc++
+					}
+				}
+				if e.inst.Op == trace.Branch && !e.resolved && !e.wrongPath {
+					spec = true
+				}
+			}
+		}
+		c.specGen = st.windowGen
+		c.specValid = true
 	}
-	c.raw.RdPortUsage.Add(c.rdThisCycle)
+	c.iqOccSum += c.iqOccInc
+	c.iqSpecSum += c.iqSpecInc
+	c.lsqOccSum += c.lsqOccInc
+	c.lsqSpecSum += c.lsqSpecInc
+
+	rd := c.rdThisCycle
+	if rd >= RdPortBins {
+		rd = RdPortBins - 1
+	}
 	wb := int(st.wbUsed[st.cycle%wbWindow])
 	if wb >= WrPortBins {
 		wb = WrPortBins - 1
 	}
-	c.raw.WrPortUsage.Add(wb)
-	if c.aluThisCycle >= ALUBins {
-		c.aluThisCycle = ALUBins - 1
+	alu := c.aluThisCycle
+	if alu >= ALUBins {
+		alu = ALUBins - 1
 	}
-	c.raw.ALUUsage.Add(c.aluThisCycle)
-	if c.memThisCycle >= MemPortBins {
-		c.memThisCycle = MemPortBins - 1
+	mem := c.memThisCycle
+	if mem >= MemPortBins {
+		mem = MemPortBins - 1
 	}
-	c.raw.MemPortUsage.Add(c.memThisCycle)
 	c.aluThisCycle, c.memThisCycle, c.rdThisCycle = 0, 0, 0
 
-	// Speculation occupancy: entries behind the oldest unresolved branch.
-	if st.robCount > 0 {
-		spec := false
-		for seq := st.headSeq; seq < st.nextSeq; seq++ {
-			e := st.slot(seq)
-			if e.inIQ {
-				c.iqOccSum++
-				if spec || e.wrongPath {
-					c.iqSpecSum++
-				}
-			}
-			if e.inLSQ {
-				c.lsqOccSum++
-				if spec || e.wrongPath {
-					c.lsqSpecSum++
-				}
-			}
-			if e.inst.Op == trace.Branch && !e.resolved && !e.wrongPath {
-				spec = true
-			}
-		}
+	// Pack all nine bin indices into one signature; identical consecutive
+	// cycles extend the current run instead of touching nine histograms.
+	sig := uint64(c.robBin) | uint64(c.iqBin)<<5 | uint64(c.lsqBin)<<10 |
+		uint64(c.intBin)<<15 | uint64(c.fpBin)<<20 |
+		uint64(rd)<<25 | uint64(wb)<<30 | uint64(alu)<<34 | uint64(mem)<<38
+	if sig == c.lastSig && c.sigRun > 0 {
+		c.sigRun++
+		return
 	}
+	c.flushRun()
+	c.lastSig = sig
+	c.sigRun = 1
+}
+
+// flushRun commits the pending histogram run (n identical cycles) with one
+// AddN per histogram — bitwise the same totals as n per-cycle Adds.
+func (c *collector) flushRun() {
+	n := c.sigRun
+	if n == 0 {
+		return
+	}
+	sig := c.lastSig
+	c.raw.ROBOcc.AddN(int(sig&31), n)
+	c.raw.IQOcc.AddN(int(sig>>5&31), n)
+	c.raw.LSQOcc.AddN(int(sig>>10&31), n)
+	c.raw.IntRegUsage.AddN(int(sig>>15&31), n)
+	c.raw.FpRegUsage.AddN(int(sig>>20&31), n)
+	c.raw.RdPortUsage.AddN(int(sig>>25&31), n)
+	c.raw.WrPortUsage.AddN(int(sig>>30&15), n)
+	c.raw.ALUUsage.AddN(int(sig>>34&15), n)
+	c.raw.MemPortUsage.AddN(int(sig>>38&7), n)
+	c.sigRun = 0
 }
 
 // observeData feeds a data address to the D-cache profiler and, since the
@@ -245,6 +309,7 @@ func (c *collector) observeFetch(pc uint32) {
 
 // finish computes the scalar counters and returns the finished set.
 func (c *collector) finish(s *Sim, res *Result) *RawCounters {
+	c.flushRun()
 	if c.iqOccSum > 0 {
 		c.raw.IQSpecFrac = float64(c.iqSpecSum) / float64(c.iqOccSum)
 	}

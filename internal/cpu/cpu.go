@@ -152,12 +152,14 @@ type entry struct {
 	mispred  bool
 	resolved bool
 	complete uint64 // cycle at which the result is written back
-	// srcSeqN is the ROB sequence number of the in-flight producer of the
-	// Nth operand, or -1 when the value was already architected.
-	srcSeq1, srcSeq2 int64
-	dstBank          int8 // 0 int, 1 fp, -1 none (phys reg accounting)
-	inIQ             bool
-	inLSQ            bool
+	// pending counts source operands whose in-flight producer has not yet
+	// completed. It is set at dispatch and decremented by the producer's
+	// writeback broadcast; the entry joins the ready list exactly when it
+	// reaches zero (the cycle its last operand becomes available).
+	pending int8
+	dstBank int8 // 0 int, 1 fp, -1 none (phys reg accounting)
+	inIQ    bool
+	inLSQ   bool
 }
 
 // Sim is a configured processor instance. Create with New, run with Run.
@@ -171,6 +173,29 @@ type Sim struct {
 
 	// Functional unit counts derived from width.
 	nIntALU, nIntMul, nFpALU, nFpMul, nMemPort int
+
+	// Hoisted configuration and power-model constants, refreshed by
+	// derive() on New and Reconfigure so the cycle loop never indexes the
+	// config or switches on an op class for a latency.
+	width    int
+	robSize  int
+	iqSize   int
+	lsqSize  int
+	maxBr    int
+	rdPorts  int
+	wrPorts  uint16
+	freeInt  int
+	freeFp   int
+	feLat    uint64
+	l2Lat    uint64
+	memLat   uint64
+	perCycPJ float64
+	latTab   [trace.NumOpClasses]uint64
+
+	// scratch is the per-Sim run-state arena, reused across Run calls so
+	// the cycle loop allocates nothing. A Sim is documented single-use
+	// per Run sequence, so sharing it is safe.
+	scratch *runState
 }
 
 // New builds a simulator for cfg. It returns an error if cfg is outside
@@ -187,18 +212,41 @@ func New(cfg arch.Config) (*Sim, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cpu: %w", err)
 	}
-	w := cfg[arch.Width]
-	return &Sim{
-		cfg:      cfg,
-		pm:       power.New(cfg),
-		hier:     hier,
-		bp:       bp,
-		nIntALU:  w,
-		nIntMul:  max(1, w/4),
-		nFpALU:   max(1, w/2),
-		nFpMul:   max(1, w/4),
-		nMemPort: max(1, w/2),
-	}, nil
+	s := &Sim{
+		cfg:  cfg,
+		pm:   power.New(cfg),
+		hier: hier,
+		bp:   bp,
+	}
+	s.derive()
+	return s, nil
+}
+
+// derive refreshes every config- and model-derived constant the cycle
+// loop reads. Called on New and Reconfigure.
+func (s *Sim) derive() {
+	w := s.cfg[arch.Width]
+	s.nIntALU = w
+	s.nIntMul = max(1, w/4)
+	s.nFpALU = max(1, w/2)
+	s.nFpMul = max(1, w/4)
+	s.nMemPort = max(1, w/2)
+	s.width = w
+	s.robSize = s.cfg[arch.ROBSize]
+	s.iqSize = s.cfg[arch.IQSize]
+	s.lsqSize = s.cfg[arch.LSQSize]
+	s.maxBr = s.cfg[arch.MaxBranches]
+	s.rdPorts = s.cfg[arch.RFReadPorts]
+	s.wrPorts = uint16(s.cfg[arch.RFWritePorts])
+	s.freeInt = s.cfg[arch.RFSize] - trace.NumIntRegs
+	s.freeFp = s.cfg[arch.RFSize] - trace.NumFpRegs
+	s.feLat = uint64(s.pm.FrontEndStages)
+	s.l2Lat = uint64(s.pm.L2Latency)
+	s.memLat = uint64(s.pm.MemLatency)
+	s.perCycPJ = s.pm.ClockPerCyc + s.pm.IdlePerCyc
+	for op := trace.OpClass(0); op < trace.NumOpClasses; op++ {
+		s.latTab[op] = s.execLatency(op)
+	}
 }
 
 // Config returns the simulated configuration.
@@ -276,13 +324,8 @@ func (s *Sim) Reconfigure(cfg arch.Config) error {
 		}
 		s.bp = bp
 	}
-	w := cfg[arch.Width]
 	s.cfg = cfg
 	s.pm = power.New(cfg)
-	s.nIntALU = w
-	s.nIntMul = max(1, w/4)
-	s.nFpALU = max(1, w/2)
-	s.nFpMul = max(1, w/4)
-	s.nMemPort = max(1, w/2)
+	s.derive()
 	return nil
 }

@@ -3,7 +3,6 @@ package cpu
 import (
 	"errors"
 
-	"repro/internal/arch"
 	"repro/internal/cache"
 	"repro/internal/power"
 	"repro/internal/trace"
@@ -24,18 +23,59 @@ type fetchedInst struct {
 	mispred    bool // this branch was mispredicted; fetch went wrong-path
 }
 
-// runState is the transient pipeline state for one Run.
+// wref identifies an in-flight entry from the wakeup ring or the issue
+// list: its sequence number (the identity check, since ROB slots are
+// reused) and its ROB slot index (so no division is needed to reach it).
+type wref struct {
+	seq uint64
+	idx int32
+}
+
+// farWref is a wakeup event beyond the ring horizon (only reachable under
+// extreme write-port pressure); it carries its absolute cycle.
+type farWref struct {
+	seq   uint64
+	cycle uint64
+	idx   int32
+}
+
+// runState is the transient pipeline state for one Run. It is embedded in
+// the Sim as a scratch arena and reset (capacities preserved) between
+// runs, keeping the cycle loop allocation-free.
 type runState struct {
 	rob      []entry // ring, capacity = ROB size
 	headSeq  uint64  // sequence number of the oldest in-flight entry
 	nextSeq  uint64  // sequence number the next dispatched entry gets
+	headIdx  int32   // headSeq % len(rob), maintained incrementally
+	nextIdx  int32   // nextSeq % len(rob), maintained incrementally
 	robCount int
 	iqCount  int
 	lsqCount int
 
 	allocInt, allocFp int // allocated physical registers beyond architectural
 
-	regProducer [trace.NumRegs]int64 // seq of latest in-flight producer, -1 none
+	regProducer    [trace.NumRegs]int64 // seq of latest in-flight producer, -1 none
+	regProducerIdx [trace.NumRegs]int32 // ROB slot of that producer
+
+	// iqList holds the READY issue-queue residents (dispatched, operands
+	// available, not yet issued) in ascending sequence order. Entries
+	// with outstanding operands are not in the list at all: they are
+	// reachable only through their producers' consumer chains (cons) and
+	// join the list the cycle their last producer's writeback broadcasts.
+	// The merge walk therefore visits exactly the entries the original
+	// full-window scan would have acted on, in the same order.
+	iqList []wref
+	// cons[i] chains the dispatched consumers waiting on the result of
+	// the entry in ROB slot i, in ascending sequence order. Chains are
+	// truncated on flush and reset when a slot is re-dispatched, so they
+	// never hold stale references.
+	cons [][]wref
+
+	// wake is the event-driven replacement for the per-cycle window scan:
+	// slot c%wbWindow holds the entries whose results complete at cycle c,
+	// kept sorted by seq so wakeup events replay in original scan order.
+	wake    [wbWindow][]wref
+	wakeFar []farWref // completions beyond the ring horizon
 
 	fetchBuf []fetchedInst
 	fbHead   int
@@ -55,6 +95,18 @@ type runState struct {
 
 	fetchedCorrect uint64
 
+	// windowGen increments whenever the in-flight window changes in a way
+	// the collector's speculation walk can observe (dispatch, issue,
+	// commit, branch resolution, flush). The collector caches its walk
+	// against it.
+	windowGen uint64
+
+	// Slice fast path: when the Source is a *SliceSource its contents are
+	// mirrored here so fetch indexes the slice directly instead of making
+	// an interface call per instruction.
+	srcFast []trace.Inst
+	srcPos  int
+
 	acc power.Account
 	res Result
 	cnt *collector
@@ -62,6 +114,63 @@ type runState struct {
 
 // fbLen returns the number of fetched-but-undispatched instructions.
 func (st *runState) fbLen() int { return len(st.fetchBuf) - st.fbHead }
+
+// getState returns the Sim's scratch run state, reset for a fresh run
+// with slice capacities preserved.
+func (s *Sim) getState() *runState {
+	st := s.scratch
+	if st == nil {
+		st = &runState{}
+		s.scratch = st
+	}
+	if len(st.rob) != s.robSize {
+		st.rob = make([]entry, s.robSize)
+	}
+	st.headSeq, st.nextSeq = 0, 0
+	st.headIdx, st.nextIdx = 0, 0
+	st.robCount, st.iqCount, st.lsqCount = 0, 0, 0
+	st.allocInt, st.allocFp = 0, 0
+	for i := range st.regProducer {
+		st.regProducer[i] = -1
+	}
+	st.iqList = st.iqList[:0]
+	if len(st.cons) != s.robSize {
+		st.cons = make([][]wref, s.robSize)
+	} else {
+		for i := range st.cons {
+			st.cons[i] = st.cons[i][:0]
+		}
+	}
+	// Wakeup tokens and write-port reservations can outlive a drained
+	// run (squashed entries leave both behind); clear them so sequence
+	// numbers from a previous run can never alias into this one.
+	for i := range st.wake {
+		st.wake[i] = st.wake[i][:0]
+	}
+	st.wakeFar = st.wakeFar[:0]
+	st.wbUsed = [wbWindow]uint16{}
+	if cap(st.fetchBuf) < s.width*8 {
+		st.fetchBuf = make([]fetchedInst, 0, s.width*8)
+	}
+	st.fetchBuf = st.fetchBuf[:0]
+	st.fbHead = 0
+	st.cycle = 0
+	st.fetchStallUntil = 0
+	st.wrongPathMode = false
+	st.unresolved = 0
+	st.stashValid = false
+	st.wpCount, st.wpPos = 0, 0
+	st.fetchedCorrect = 0
+	st.windowGen = 0
+	st.srcFast = nil
+	st.srcPos = 0
+	st.acc = power.Account{}
+	st.res = Result{}
+	st.cnt = nil
+	return st
+}
+
+var errCycleLimit = errors.New("cpu: cycle limit exceeded (pipeline deadlock?)")
 
 // Run simulates n correct-path instructions from src under opts and
 // returns the result. The simulation ends when all n instructions have
@@ -90,13 +199,7 @@ func (s *Sim) Run(src Source, n int, opts Options) (*Result, error) {
 	s.hier.L1D.ResetStats()
 	s.hier.L2.ResetStats()
 
-	st := &runState{
-		rob:      make([]entry, s.cfg[arch.ROBSize]),
-		fetchBuf: make([]fetchedInst, 0, s.cfg[arch.Width]*8),
-	}
-	for i := range st.regProducer {
-		st.regProducer[i] = -1
-	}
+	st := s.getState()
 	st.fetchStallUntil = opts.StartStall
 	if opts.Collect {
 		c, err := newCollector(s.cfg, opts.SampledSets)
@@ -108,21 +211,29 @@ func (s *Sim) Run(src Source, n int, opts Options) (*Result, error) {
 	if opts.ExtraEnergyPJ > 0 {
 		st.acc.Add(power.StructClock, opts.ExtraEnergyPJ)
 	}
+	ss, fast := src.(*SliceSource)
+	if fast {
+		st.srcFast = ss.insts
+		st.srcPos = ss.pos
+	}
 
 	target := uint64(n)
 	limit := uint64(n)*maxCyclesPerInst + 100_000
 	for {
 		st.cycle++
 		if st.cycle > limit {
-			return nil, errors.New("cpu: cycle limit exceeded (pipeline deadlock?)")
+			if fast {
+				ss.pos = st.srcPos
+			}
+			return nil, errCycleLimit
 		}
-		s.commit(st)
-		s.scanWindow(st)
-		s.dispatch(st)
-		s.fetch(st, src, target)
+		cProg := s.commit(st)
+		iProg, readyBlocked := s.issueAndWake(st)
+		dProg := s.dispatch(st)
+		fProg := s.fetch(st, src, target)
 
 		// Per-cycle energy: clock tree plus the conditional-clocking floor.
-		st.acc.Add(power.StructClock, s.pm.ClockPerCyc+s.pm.IdlePerCyc)
+		st.acc.Add(power.StructClock, s.perCycPJ)
 		if st.cnt != nil {
 			st.cnt.perCycle(s, st)
 		}
@@ -133,6 +244,20 @@ func (s *Sim) Run(src Source, n int, opts Options) (*Result, error) {
 		if st.res.Committed >= target && st.robCount == 0 && st.fbLen() == 0 && !st.stashValid {
 			break
 		}
+		if !(cProg || iProg || dProg || fProg || readyBlocked) {
+			// No stage moved and nothing is ready-but-resource-blocked:
+			// every future unblock is a scheduled event, so the clock can
+			// fast-forward through the dead cycles.
+			if err := s.fastForward(st, limit); err != nil {
+				if fast {
+					ss.pos = st.srcPos
+				}
+				return nil, err
+			}
+		}
+	}
+	if fast {
+		ss.pos = st.srcPos
 	}
 
 	st.res.Config = s.cfg
@@ -158,26 +283,63 @@ func (s *Sim) Run(src Source, n int, opts Options) (*Result, error) {
 	return &out, nil
 }
 
-// slot returns the ROB ring slot for seq.
-func (st *runState) slot(seq uint64) *entry {
-	return &st.rob[seq%uint64(len(st.rob))]
+// fastForward advances the clock through cycles in which no stage can make
+// progress, charging per-cycle accounting identically to the main loop. It
+// stops one cycle short of the next scheduled event: a wakeup token, a
+// far-horizon completion, the fetch-stall release, or the front-end
+// delivery of the oldest buffered instruction.
+func (s *Sim) fastForward(st *runState, limit uint64) error {
+	stop := neverCycle
+	if st.fetchStallUntil > st.cycle {
+		stop = st.fetchStallUntil
+	}
+	if st.fbLen() > 0 {
+		if fe := st.fetchBuf[st.fbHead].fetchCycle + s.feLat; fe < stop {
+			stop = fe
+		}
+	}
+	for _, f := range st.wakeFar {
+		if f.cycle < stop {
+			stop = f.cycle
+		}
+	}
+	for {
+		next := st.cycle + 1
+		if next >= stop || len(st.wake[next%wbWindow]) > 0 {
+			return nil
+		}
+		st.cycle = next
+		if st.cycle > limit {
+			return errCycleLimit
+		}
+		// Identical per-cycle accounting to the main loop: one clock-tree
+		// charge per cycle (floating-point order preserved — a batched
+		// multiply would round differently), counter sampling, and the
+		// write-port slot expiry.
+		st.acc.Add(power.StructClock, s.perCycPJ)
+		if st.cnt != nil {
+			st.cnt.perCycle(s, st)
+		}
+		st.wbUsed[st.cycle%wbWindow] = 0
+	}
 }
 
 // commit retires up to Width completed entries from the ROB head, in
 // order.
-func (s *Sim) commit(st *runState) {
-	w := s.cfg[arch.Width]
+func (s *Sim) commit(st *runState) bool {
+	w := s.width
+	prog := false
 	for k := 0; k < w && st.robCount > 0; k++ {
-		e := st.slot(st.headSeq)
+		e := &st.rob[st.headIdx]
 		if e.mispred && !e.resolved {
-			return // wait for the flush this branch will trigger
+			return prog // wait for the flush this branch will trigger
 		}
 		if e.state != stCompleted || e.complete > st.cycle {
-			return
+			return prog
 		}
 		if e.wrongPath {
 			// Wrong-path entries are removed by the flush, never committed.
-			return
+			return prog
 		}
 		if e.inLSQ {
 			st.lsqCount--
@@ -188,9 +350,16 @@ func (s *Sim) commit(st *runState) {
 		s.freeDst(st, e)
 		st.acc.Add(power.StructROB, s.pm.ROBAccess) // retirement read
 		st.headSeq++
+		st.headIdx++
+		if int(st.headIdx) == len(st.rob) {
+			st.headIdx = 0
+		}
 		st.robCount--
 		st.res.Committed++
+		st.windowGen++
+		prog = true
 	}
+	return prog
 }
 
 func (s *Sim) freeDst(st *runState, e *entry) {
@@ -203,20 +372,45 @@ func (s *Sim) freeDst(st *runState, e *entry) {
 	e.dstBank = -1
 }
 
-// scanWindow walks the in-flight window once per cycle: it transitions
-// issued entries to completed, resolves branches (triggering the flush on
-// a misprediction), and issues ready entries oldest-first subject to
-// functional-unit, read-port and issue-width limits.
-func (s *Sim) scanWindow(st *runState) {
-	issueBudget := s.cfg[arch.Width]
-	rdPorts := s.cfg[arch.RFReadPorts]
-	intALU, intMul, fpALU, fpMul, memPort := s.nIntALU, s.nIntMul, s.nFpALU, s.nFpMul, s.nMemPort
+// issueAndWake replaces the original per-cycle O(ROB) window scan. The
+// cycle's wakeup tokens (completion events) and the issue-queue residents
+// are both ordered by sequence number, so a single merge walk visits
+// exactly the entries the full scan would have acted on, in the same
+// order — every state transition and energy charge replays identically.
+func (s *Sim) issueAndWake(st *runState) (progress, readyBlocked bool) {
+	if len(st.wakeFar) > 0 {
+		st.drainFar()
+	}
+	slot := st.cycle % wbWindow
+	wake := st.wake[slot]
+	if len(wake) == 0 && len(st.iqList) == 0 {
+		// No completion is due and nothing is ready to issue: the walk
+		// would visit nothing and charge nothing, so skip it outright.
+		// (Waiting entries live in consumer chains, not the list, and
+		// can only become ready through a completion.)
+		return false, false
+	}
+	iq := st.iqList
 
+	issueBudget := s.width
+	rdPorts := s.rdPorts
+	intALU, intMul, fpALU, fpMul, memPort := s.nIntALU, s.nIntMul, s.nFpALU, s.nFpMul, s.nMemPort
 	rdUsed := 0
-	for seq := st.headSeq; seq < st.nextSeq; seq++ {
-		e := st.slot(seq)
-		// Writeback transition.
-		if e.state == stIssued && e.complete <= st.cycle {
+
+	wi, qi, qw := 0, 0, 0
+	for wi < len(wake) || qi < len(iq) {
+		if wi < len(wake) && (qi >= len(iq) || wake[wi].seq <= iq[qi].seq) {
+			// Writeback transition.
+			w := wake[wi]
+			wi++
+			e := &st.rob[w.idx]
+			// Tokens are not retracted on flush; squashed entries leave
+			// stale tokens behind. A token acts only if its entry is still
+			// the one it was issued for and is due exactly now.
+			if w.seq < st.headSeq || w.seq >= st.nextSeq || e.state != stIssued || e.complete != st.cycle {
+				continue
+			}
+			progress = true
 			e.state = stCompleted
 			// Wakeup broadcast to the issue queue.
 			st.acc.Add(power.StructIQ, s.pm.IQWakeup)
@@ -226,21 +420,57 @@ func (s *Sim) scanWindow(st *runState) {
 			if e.inst.Op == trace.Branch && !e.resolved && !e.wrongPath {
 				e.resolved = true
 				st.unresolved--
+				st.windowGen++
 				if e.mispred {
-					s.flushAfter(st, seq)
-					return // window contents changed; end this cycle's scan
+					s.flushAfter(st, w.seq)
+					// Everything not yet visited by this walk is younger
+					// than the branch and was just squashed: drop the rest
+					// of the candidate list and the cycle's tokens.
+					st.iqList = iq[:qw]
+					st.wake[slot] = wake[:0]
+					return true, readyBlocked
 				}
 			}
-		}
-		if e.state != stDispatched || !e.inIQ {
+			// Wake the consumers waiting on this result; ones whose last
+			// operand this is become issuable this very cycle and join
+			// the list at their sequence position — ahead of the walk
+			// cursor, since they are younger than this token — exactly
+			// where the original scan would have found them ready.
+			if ch := st.cons[w.idx]; len(ch) > 0 {
+				for _, cr := range ch {
+					t := &st.rob[cr.idx]
+					t.pending--
+					if t.pending == 0 {
+						iq = append(iq, wref{})
+						p := len(iq) - 1
+						for p > qi && iq[p-1].seq > cr.seq {
+							iq[p] = iq[p-1]
+							p--
+						}
+						iq[p] = cr
+					}
+				}
+				st.cons[w.idx] = ch[:0]
+			}
 			continue
 		}
+		// Issue candidate, oldest first. Everything in the list has its
+		// operands available (pending reached zero), so only structural
+		// resources gate issue.
+		if issueBudget == 0 && wi == len(wake) {
+			// Budget spent and no tokens left: nothing that follows can
+			// transition or charge energy, so bulk-copy the tail.
+			qw += copy(iq[qw:], iq[qi:])
+			break
+		}
+		c := iq[qi]
+		qi++
 		if issueBudget == 0 {
-			continue // keep walking: writeback transitions must still run
-		}
-		if !s.srcReady(st, e.srcSeq1) || !s.srcReady(st, e.srcSeq2) {
+			iq[qw] = c
+			qw++
 			continue
 		}
+		e := &st.rob[c.idx]
 		nsrc := 0
 		if e.inst.Src1 >= 0 {
 			nsrc++
@@ -249,6 +479,9 @@ func (s *Sim) scanWindow(st *runState) {
 			nsrc++
 		}
 		if rdUsed+nsrc > rdPorts {
+			iq[qw] = c
+			qw++
+			readyBlocked = true
 			continue
 		}
 		var fu *int
@@ -264,10 +497,10 @@ func (s *Sim) scanWindow(st *runState) {
 		default: // Load
 			fu = &memPort
 		}
-		if *fu == 0 {
-			continue
-		}
-		if e.inst.Op == trace.Store && memPort == 0 {
+		if *fu == 0 || (e.inst.Op == trace.Store && memPort == 0) {
+			iq[qw] = c
+			qw++
+			readyBlocked = true
 			continue
 		}
 		*fu--
@@ -276,8 +509,9 @@ func (s *Sim) scanWindow(st *runState) {
 		}
 		rdUsed += nsrc
 		issueBudget--
+		progress = true
 
-		lat := s.execLatency(e.inst.Op)
+		lat := s.latTab[e.inst.Op]
 		st.acc.Add(power.StructIQ, s.pm.IQIssue)
 		st.acc.Add(power.StructRF, float64(nsrc)*s.pm.RFRead)
 		switch e.inst.Op {
@@ -288,10 +522,10 @@ func (s *Sim) scanWindow(st *runState) {
 			if e.inst.Op == trace.Load {
 				switch lvl {
 				case cache.L2Hit:
-					lat = uint64(s.pm.L2Latency)
+					lat = s.l2Lat
 					st.acc.Add(power.StructL2, s.pm.L2Access)
 				case cache.Memory:
-					lat = uint64(s.pm.MemLatency)
+					lat = s.memLat
 					st.acc.Add(power.StructL2, s.pm.L2Access+s.pm.MemAccess)
 				}
 			} else if lvl != cache.L1Hit {
@@ -312,7 +546,7 @@ func (s *Sim) scanWindow(st *runState) {
 		// after the nominal finish with a free write port.
 		fin := st.cycle + lat
 		if e.inst.Dst >= 0 {
-			for st.wbUsed[fin%wbWindow] >= uint16(s.cfg[arch.RFWritePorts]) {
+			for st.wbUsed[fin%wbWindow] >= s.wrPorts {
 				fin++
 			}
 			st.wbUsed[fin%wbWindow]++
@@ -321,26 +555,70 @@ func (s *Sim) scanWindow(st *runState) {
 		e.state = stIssued
 		e.inIQ = false
 		st.iqCount--
+		st.windowGen++
+		st.pushWake(c.seq, c.idx, fin)
 		if st.cnt != nil {
 			st.cnt.issued(st, e, nsrc)
 		}
 	}
+	st.wake[slot] = wake[:0]
+	st.iqList = iq[:qw]
+	return progress, readyBlocked
 }
 
-// srcReady reports whether the operand produced by seq is available.
-func (s *Sim) srcReady(st *runState, seq int64) bool {
-	if seq < 0 || uint64(seq) < st.headSeq {
-		return true // no producer, or producer already committed
+// pushWake schedules a completion event for cycle fin, keeping each ring
+// slot sorted by sequence number.
+func (st *runState) pushWake(seq uint64, idx int32, fin uint64) {
+	if fin-st.cycle >= wbWindow {
+		st.wakeFar = append(st.wakeFar, farWref{seq: seq, cycle: fin, idx: idx})
+		return
 	}
-	p := st.slot(uint64(seq))
-	return p.state != stDispatched && p.complete <= st.cycle
+	slot := fin % wbWindow
+	l := st.wake[slot]
+	i := len(l)
+	for i > 0 && l[i-1].seq > seq {
+		i--
+	}
+	l = append(l, wref{})
+	copy(l[i+1:], l[i:])
+	l[i] = wref{seq: seq, idx: idx}
+	st.wake[slot] = l
+}
+
+// drainFar migrates far-horizon completions into the ring once they come
+// within its reach.
+func (st *runState) drainFar() {
+	kept := st.wakeFar[:0]
+	for _, f := range st.wakeFar {
+		if f.cycle-st.cycle < wbWindow {
+			slot := f.cycle % wbWindow
+			l := st.wake[slot]
+			i := len(l)
+			for i > 0 && l[i-1].seq > f.seq {
+				i--
+			}
+			l = append(l, wref{})
+			copy(l[i+1:], l[i:])
+			l[i] = wref{seq: f.seq, idx: f.idx}
+			st.wake[slot] = l
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	st.wakeFar = kept
 }
 
 // flushAfter squashes every entry younger than seq (all wrong-path),
 // restores resource counts, and redirects fetch to the correct path.
 func (s *Sim) flushAfter(st *runState, seq uint64) {
+	n := len(st.rob)
+	idx := int(seq % uint64(n))
 	for q := seq + 1; q < st.nextSeq; q++ {
-		e := st.slot(q)
+		idx++
+		if idx == n {
+			idx = 0
+		}
+		e := &st.rob[idx]
 		if e.inIQ {
 			st.iqCount--
 		}
@@ -351,16 +629,33 @@ func (s *Sim) flushAfter(st *runState, seq uint64) {
 		st.robCount--
 	}
 	st.nextSeq = seq + 1
+	st.nextIdx = int32((seq + 1) % uint64(n))
 	// Producers among the squashed entries are gone.
 	for r := range st.regProducer {
 		if st.regProducer[r] > int64(seq) {
 			st.regProducer[r] = -1
 		}
 	}
+	// Surviving producers must forget squashed consumers: chains are in
+	// ascending sequence order, so the squashed suffix peels off the tail.
+	// (Squashed slots' own chains are reset when the slot re-dispatches.)
+	idx = int(st.headIdx)
+	for q := st.headSeq; q <= seq; q++ {
+		ch := st.cons[idx]
+		for len(ch) > 0 && ch[len(ch)-1].seq > seq {
+			ch = ch[:len(ch)-1]
+		}
+		st.cons[idx] = ch
+		idx++
+		if idx == n {
+			idx = 0
+		}
+	}
 	st.fetchBuf = st.fetchBuf[:0]
 	st.fbHead = 0
 	st.wrongPathMode = false
 	st.wpPos = 0
+	st.windowGen++
 	// Redirect: the front-end refill delay is modelled by dispatch's
 	// FrontEndStages latency on newly fetched instructions; the extra
 	// stall covers resolution-to-redirect wiring.
@@ -375,32 +670,31 @@ func (s *Sim) flushAfter(st *runState, seq uint64) {
 
 // dispatch moves fetched instructions into the window, allocating ROB, IQ,
 // LSQ and physical-register resources.
-func (s *Sim) dispatch(st *runState) {
-	w := s.cfg[arch.Width]
-	fe := uint64(s.pm.FrontEndStages)
-	freeInt := s.cfg[arch.RFSize] - trace.NumIntRegs
-	freeFp := s.cfg[arch.RFSize] - trace.NumFpRegs
+func (s *Sim) dispatch(st *runState) bool {
+	w := s.width
+	fe := s.feLat
+	prog := false
 	for done := 0; done < w && st.fbHead < len(st.fetchBuf); done++ {
 		f := &st.fetchBuf[st.fbHead]
 		if f.fetchCycle+fe > st.cycle {
 			break // still in the front-end pipeline
 		}
-		if st.robCount >= s.cfg[arch.ROBSize] || st.iqCount >= s.cfg[arch.IQSize] {
+		if st.robCount >= s.robSize || st.iqCount >= s.iqSize {
 			break
 		}
-		if f.inst.Op.IsMem() && st.lsqCount >= s.cfg[arch.LSQSize] {
+		if f.inst.Op.IsMem() && st.lsqCount >= s.lsqSize {
 			break
 		}
 		bank := int8(-1)
 		if f.inst.Dst >= 0 {
 			if int(f.inst.Dst) < trace.NumIntRegs {
-				if st.allocInt >= freeInt {
+				if st.allocInt >= s.freeInt {
 					break
 				}
 				st.allocInt++
 				bank = 0
 			} else {
-				if st.allocFp >= freeFp {
+				if st.allocFp >= s.freeFp {
 					break
 				}
 				st.allocFp++
@@ -408,7 +702,22 @@ func (s *Sim) dispatch(st *runState) {
 			}
 		}
 		seq := st.nextSeq
-		e := st.slot(seq)
+		idx := st.nextIdx
+		e := &st.rob[idx]
+		// Link this entry into its producers' consumer chains; a producer
+		// that has already completed leaves the operand available from
+		// the start. The slot's own (stale) chain dies with its previous
+		// occupant.
+		st.cons[idx] = st.cons[idx][:0]
+		pend := int8(0)
+		if p1, i1 := st.producerOf(f.inst.Src1); p1 >= 0 && st.rob[i1].state != stCompleted {
+			st.cons[i1] = append(st.cons[i1], wref{seq: seq, idx: idx})
+			pend++
+		}
+		if p2, i2 := st.producerOf(f.inst.Src2); p2 >= 0 && st.rob[i2].state != stCompleted {
+			st.cons[i2] = append(st.cons[i2], wref{seq: seq, idx: idx})
+			pend++
+		}
 		*e = entry{
 			inst:      f.inst,
 			state:     stDispatched,
@@ -417,8 +726,7 @@ func (s *Sim) dispatch(st *runState) {
 			complete:  neverCycle,
 			dstBank:   bank,
 			inIQ:      true,
-			srcSeq1:   st.producerOf(f.inst.Src1),
-			srcSeq2:   st.producerOf(f.inst.Src2),
+			pending:   pend,
 		}
 		if f.inst.Op.IsMem() {
 			e.inLSQ = true
@@ -427,10 +735,19 @@ func (s *Sim) dispatch(st *runState) {
 		}
 		if f.inst.Dst >= 0 {
 			st.regProducer[f.inst.Dst] = int64(seq)
+			st.regProducerIdx[f.inst.Dst] = idx
+		}
+		if pend == 0 {
+			st.iqList = append(st.iqList, wref{seq: seq, idx: idx})
 		}
 		st.nextSeq++
+		st.nextIdx++
+		if int(st.nextIdx) == len(st.rob) {
+			st.nextIdx = 0
+		}
 		st.robCount++
 		st.iqCount++
+		st.windowGen++
 		st.acc.Add(power.StructROB, s.pm.ROBAccess)
 		st.acc.Add(power.StructIQ, s.pm.IQInsert)
 		st.acc.Add(power.StructRename, s.pm.RenameOp)
@@ -441,32 +758,52 @@ func (s *Sim) dispatch(st *runState) {
 			st.res.WrongPath++
 		}
 		st.fbHead++
+		prog = true
 	}
 	if st.fbHead == len(st.fetchBuf) {
 		st.fetchBuf = st.fetchBuf[:0]
 		st.fbHead = 0
 	}
+	return prog
 }
 
-// producerOf returns the in-flight producer seq for register r, or -1.
-func (st *runState) producerOf(r int8) int64 {
+// producerOf returns the in-flight producer seq and ROB slot for register
+// r, or (-1, 0).
+func (st *runState) producerOf(r int8) (int64, int32) {
 	if r < 0 {
-		return -1
+		return -1, 0
 	}
-	return st.regProducer[r]
+	seq := st.regProducer[r]
+	if seq < 0 {
+		return -1, 0
+	}
+	return seq, st.regProducerIdx[r]
+}
+
+// pushFetch appends to the fetch buffer, compacting the drained prefix in
+// place when the backing array fills so the buffer never reallocates.
+func (st *runState) pushFetch(f fetchedInst) {
+	if len(st.fetchBuf) == cap(st.fetchBuf) && st.fbHead > 0 {
+		n := copy(st.fetchBuf, st.fetchBuf[st.fbHead:])
+		st.fetchBuf = st.fetchBuf[:n]
+		st.fbHead = 0
+	}
+	st.fetchBuf = append(st.fetchBuf, f)
 }
 
 // fetch brings up to Width instructions into the fetch buffer, consulting
 // the I-cache and the branch predictor, honouring the in-flight branch
 // limit and injecting wrong-path instructions after a misprediction.
-func (s *Sim) fetch(st *runState, src Source, target uint64) {
+func (s *Sim) fetch(st *runState, src Source, target uint64) bool {
 	if st.cycle < st.fetchStallUntil {
-		return
+		return false
 	}
-	w := s.cfg[arch.Width]
+	w := s.width
+	full := w * 7
+	prog := false
 	for k := 0; k < w; k++ {
-		if st.fbLen() >= w*7 {
-			return // fetch buffer nearly full
+		if st.fbLen() >= full {
+			return prog // fetch buffer nearly full
 		}
 		var in trace.Inst
 		wrong := st.wrongPathMode
@@ -477,19 +814,27 @@ func (s *Sim) fetch(st *runState, src Source, target uint64) {
 			in = st.stash
 			st.stashValid = false
 		case st.fetchedCorrect < target:
-			in = src.Next()
+			if st.srcFast != nil {
+				in = st.srcFast[st.srcPos]
+				st.srcPos++
+				if st.srcPos == len(st.srcFast) {
+					st.srcPos = 0
+				}
+			} else {
+				in = src.Next()
+			}
 			st.fetchedCorrect++
 		default:
-			return // trace exhausted; drain
+			return prog // trace exhausted; drain
 		}
 
 		isBranch := in.Op == trace.Branch && !wrong
-		if isBranch && st.unresolved >= s.cfg[arch.MaxBranches] {
+		if isBranch && st.unresolved >= s.maxBr {
 			// Cannot speculate past more in-flight branches: hold the
 			// branch and retry next cycle.
 			st.stash = in
 			st.stashValid = true
-			return
+			return prog
 		}
 
 		fc := st.cycle
@@ -501,10 +846,10 @@ func (s *Sim) fetch(st *runState, src Source, target uint64) {
 			if lvl != cache.L1Hit {
 				var lat uint64
 				if lvl == cache.L2Hit {
-					lat = uint64(s.pm.L2Latency)
+					lat = s.l2Lat
 					st.acc.Add(power.StructL2, s.pm.L2Access)
 				} else {
-					lat = uint64(s.pm.MemLatency)
+					lat = s.memLat
 					st.acc.Add(power.StructL2, s.pm.L2Access+s.pm.MemAccess)
 				}
 				st.fetchStallUntil = st.cycle + lat
@@ -528,18 +873,20 @@ func (s *Sim) fetch(st *runState, src Source, target uint64) {
 				st.wrongPathMode = true
 			}
 		}
-		st.fetchBuf = append(st.fetchBuf, f)
+		st.pushFetch(f)
 		st.res.Fetched++
+		prog = true
 		if !wrong {
 			s.recordFetch(st, in)
 		}
 		if missed {
-			return // the group ends at an I-cache miss
+			return prog // the group ends at an I-cache miss
 		}
 		if isBranch && (f.mispred || in.Taken) {
-			return // redirect (taken) or switch to the wrong path
+			return prog // redirect (taken) or switch to the wrong path
 		}
 	}
+	return prog
 }
 
 // recordFetch appends the instruction to the wrong-path replay ring.
@@ -559,7 +906,13 @@ func (s *Sim) nextWrongPath(st *runState) trace.Inst {
 	if n > wpRingSize {
 		n = wpRingSize
 	}
-	in := st.wpRing[st.wpPos%n]
+	// wpPos restarts at 0 on every flush and n is frozen while wrong-path
+	// mode is active, so a wrap compare replays the same index sequence
+	// the original modulo produced.
+	if st.wpPos >= n {
+		st.wpPos = 0
+	}
+	in := st.wpRing[st.wpPos]
 	st.wpPos++
 	in.PC += 256 // nearby, but distinct, code
 	if in.Op.IsMem() {

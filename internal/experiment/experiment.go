@@ -18,6 +18,7 @@ import (
 	"math/rand/v2"
 	"sort"
 	"strconv"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -153,6 +154,10 @@ type Dataset struct {
 
 	trained map[counters.Set]*core.Predictor // TrainAll memo
 
+	// workers bounds the simulation fan-out (see WithWorkers); 1 means
+	// the fully sequential build.
+	workers int
+
 	// BestStatic is the shared configuration with the highest aggregate
 	// efficiency across all phases (the paper's baseline, Table III).
 	BestStatic arch.Config
@@ -163,7 +168,8 @@ type Dataset struct {
 type Option func(*buildOptions)
 
 type buildOptions struct {
-	store *store.Store
+	store   *store.Store
+	workers int
 }
 
 // WithStore attaches a persistent result store to the build (nil is
@@ -175,6 +181,18 @@ type buildOptions struct {
 // simulating.
 func WithStore(st *store.Store) Option {
 	return func(o *buildOptions) { o.store = st }
+}
+
+// WithWorkers bounds the build's simulation fan-out: independent
+// simulations within one batch (the shared uniform sample, each sweep
+// batch, and the profiling pass) run on up to n goroutines. All side
+// effects — memo inserts, sample-space promotion, best updates, store
+// appends and telemetry spans — are applied strictly in the sequential
+// build's order, so any worker count produces the byte-identical dataset
+// and store log. Values below 1 (and the default) mean fully sequential,
+// the right choice on a one-core machine.
+func WithWorkers(n int) Option {
+	return func(o *buildOptions) { o.workers = n }
 }
 
 // BuildDataset runs the full data-gathering pipeline at the given scale.
@@ -221,6 +239,10 @@ func Build(ctx context.Context, sc Scale, opts ...Option) (*Dataset, error) {
 		FeaturesBasic: map[PhaseID][]float64{},
 		ProfileRes:    map[PhaseID]*cpu.Result{},
 		store:         bo.store,
+		workers:       bo.workers,
+	}
+	if ds.workers < 1 {
+		ds.workers = 1
 	}
 
 	tr := obs.DefaultTracer()
@@ -285,19 +307,50 @@ func Build(ctx context.Context, sc Scale, opts ...Option) (*Dataset, error) {
 	ds.computeGoodSets()
 	sp.Finish()
 
-	// Profile every phase on the profiling configuration.
+	// Profile every phase on the profiling configuration. Profiling runs
+	// are pure — never memoised, never stored — so with WithWorkers they
+	// fan out as-is; spans, assignments and progress still land in phase
+	// order, keeping the span tree and the dataset byte-identical.
 	sp = tr.Start("profile")
+	profOpts := cpu.Options{
+		Collect:     true,
+		SampledSets: sc.SampledSets,
+		WarmupInsts: sc.WarmupInsts,
+	}
+	profRes := make([]*cpu.Result, len(ds.Phases))
+	profErr := make([]error, len(ds.Phases))
+	if ds.workers > 1 && len(ds.Phases) > 1 {
+		work := make(chan int, len(ds.Phases))
+		for i := range ds.Phases {
+			work <- i
+		}
+		close(work)
+		nw := ds.workers
+		if nw > len(ds.Phases) {
+			nw = len(ds.Phases)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					profRes[i], profErr[i] = ds.simulate(ds.Phases[i], arch.Profiling(), profOpts, false)
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	for i, id := range ds.Phases {
 		if err := ctx.Err(); err != nil {
 			sp.Finish()
 			return nil, fmt.Errorf("experiment: profiling cancelled: %w", err)
 		}
 		psp := tr.Start("profile " + id.String())
-		res, err := ds.simulate(id, arch.Profiling(), cpu.Options{
-			Collect:     true,
-			SampledSets: sc.SampledSets,
-			WarmupInsts: sc.WarmupInsts,
-		}, false)
+		res, err := profRes[i], profErr[i]
+		if res == nil && err == nil {
+			res, err = ds.simulate(id, arch.Profiling(), profOpts, false)
+		}
 		if err != nil {
 			psp.Finish()
 			sp.Finish()
@@ -323,26 +376,136 @@ type entry struct {
 
 // searchPhase runs the three-stage search for one phase.
 func (ds *Dataset) searchPhase(id PhaseID, rng *rand.Rand) error {
-	eval := func(cfg arch.Config) error {
-		_, err := ds.SampleResult(id, cfg)
+	// Stage 1: the shared uniform sample — a fixed batch, fanned across
+	// the worker pool.
+	if err := ds.runBatch(id, ds.SharedConfigs); err != nil {
 		return err
 	}
-	for _, cfg := range ds.SharedConfigs {
-		if err := eval(cfg); err != nil {
-			return err
-		}
-	}
-	// Stage 2: local neighbours of the incumbent.
+	// Stage 2: local neighbours of the incumbent. Inherently sequential:
+	// each draw refines the Best the previous one may have moved.
 	for i := 0; i < ds.Scale.LocalSamples; i++ {
-		if err := eval(arch.Neighbor(ds.Best[id], rng)); err != nil {
+		if _, err := ds.SampleResult(id, arch.Neighbor(ds.Best[id], rng)); err != nil {
 			return err
 		}
 	}
-	// Stage 3: one-at-a-time sweep of selected parameters.
+	// Stage 3: one-at-a-time sweep of selected parameters. Each
+	// parameter's batch is fixed by the incumbent before the batch runs,
+	// exactly like the sequential loop (Best can only move between
+	// parameters, never mid-sweep input).
 	for _, p := range ds.Scale.SweepParams {
-		for _, cfg := range arch.Sweep(ds.Best[id], p) {
-			if err := eval(cfg); err != nil {
+		if err := ds.runBatch(id, arch.Sweep(ds.Best[id], p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchElem classifies one batch configuration: already memoised, answered
+// by the store, or needing a fresh simulation.
+type batchElem struct {
+	cfg  arch.Config
+	res  *cpu.Result
+	err  error
+	kind uint8 // 0 memo hit, 1 store hit, 2 simulate
+}
+
+// runBatch evaluates cfgs on one phase in sample mode. With one worker it
+// is exactly the sequential SampleResult loop. With more, it classifies
+// every configuration first (no side effects), fans the fresh simulations
+// across the pool, then applies all side effects — sample-space promotion,
+// best updates, memo inserts and store appends — strictly in cfgs order:
+// the dataset and the store log come out byte-identical to the sequential
+// build for any worker count.
+func (ds *Dataset) runBatch(id PhaseID, cfgs []arch.Config) error {
+	if ds.workers <= 1 || len(cfgs) < 2 {
+		for _, cfg := range cfgs {
+			if _, err := ds.SampleResult(id, cfg); err != nil {
 				return err
+			}
+		}
+		return nil
+	}
+	insts, ok := ds.traces[id]
+	if !ok {
+		return fmt.Errorf("experiment: unknown phase %s", id)
+	}
+	opts := cpu.Options{WarmupInsts: ds.Scale.WarmupInsts}
+	elems := make([]batchElem, len(cfgs))
+	batchSeen := make(map[arch.Config]bool, len(cfgs))
+	nmiss := 0
+	for i, cfg := range cfgs {
+		elems[i].cfg = cfg
+		if batchSeen[cfg] {
+			continue // duplicate: kind 0 resolves via SampleResult after the first lands
+		}
+		batchSeen[cfg] = true
+		if m := ds.results[id]; m != nil {
+			if _, hit := m[cfg]; hit {
+				continue // kind 0
+			}
+		}
+		if ds.store != nil {
+			key := store.Fingerprint(id.Program, id.Phase, cfg, len(insts), opts.WarmupInsts)
+			if res, hit := ds.store.Get(key); hit {
+				elems[i].kind = 1
+				elems[i].res = res
+				continue
+			}
+		}
+		elems[i].kind = 2
+		nmiss++
+	}
+	if nmiss > 0 {
+		work := make(chan int, nmiss)
+		for i := range elems {
+			if elems[i].kind == 2 {
+				work <- i
+			}
+		}
+		close(work)
+		nw := ds.workers
+		if nw > nmiss {
+			nw = nmiss
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					e := &elems[i]
+					sim, err := cpu.New(e.cfg)
+					if err != nil {
+						e.err = err
+						continue
+					}
+					e.res, e.err = sim.Run(cpu.NewSliceSource(insts), len(insts), opts)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range elems {
+		e := &elems[i]
+		switch e.kind {
+		case 0:
+			// Memo hit: SampleResult replays the promotion side effects.
+			if _, err := ds.SampleResult(id, e.cfg); err != nil {
+				return err
+			}
+		case 1:
+			ds.memoize(id, e.cfg, e.res, true)
+		default:
+			if e.err != nil {
+				return fmt.Errorf("experiment: phase %s: %w", id, e.err)
+			}
+			obsSims.Inc()
+			ds.memoize(id, e.cfg, e.res, true)
+			if ds.store != nil {
+				key := store.Fingerprint(id.Program, id.Phase, e.cfg, len(insts), opts.WarmupInsts)
+				if err := ds.store.Put(key, e.res); err != nil {
+					return fmt.Errorf("experiment: persisting %s result: %w", id, err)
+				}
 			}
 		}
 	}

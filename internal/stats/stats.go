@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -101,23 +102,11 @@ func Log2Bin(d uint64, maxBin int) int {
 	if d <= 1 {
 		return 0
 	}
-	b := 64 - leadingZeros(d) // == floor(log2(d)) + 1
+	b := bits.Len64(d) // == floor(log2(d)) + 1
 	if b > maxBin {
 		return maxBin
 	}
 	return b
-}
-
-func leadingZeros(x uint64) int {
-	n := 0
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-		if n == 64 {
-			break
-		}
-	}
-	return n
 }
 
 // ECDF returns the empirical CDF evaluated at each of the supplied

@@ -160,9 +160,10 @@ type Generator struct {
 	rng     *rand.Rand
 	states  []kernelState
 
-	kernel     int      // current kernel index
-	burstLeft  int      // instructions left in the current kernel burst
-	recentDst  [32]int8 // ring of recent destination registers
+	kernel     int       // current kernel index
+	burstLeft  int       // instructions left in the current kernel burst
+	mixTotals  []float64 // per-kernel Mix weight sums, hoisted out of drawOp
+	recentDst  [32]int8  // ring of recent destination registers
 	recentHead int
 	emitted    uint64
 }
@@ -190,6 +191,17 @@ func NewGenerator(program string, phase int) (*Generator, error) {
 		rng:     rand.New(rand.NewPCG(hashString(program), uint64(phase)*0x9e3779b97f4a7c15+1)),
 	}
 	g.states = make([]kernelState, len(spec.kernels))
+	// Hoist the mix-weight totals out of the per-instruction draw. The
+	// summation order matches the original in-loop accumulation, so the
+	// totals (and every drawn op) are bit-identical.
+	g.mixTotals = make([]float64, len(spec.kernels))
+	for i := range spec.kernels {
+		total := 0.0
+		for _, w := range spec.kernels[i].Mix {
+			total += w
+		}
+		g.mixTotals[i] = total
+	}
 	var code uint32 = 0x0040_0000
 	var data uint32 = 0x1000_0000
 	var bb uint32
@@ -339,11 +351,7 @@ func (g *Generator) emitBranch(k *Kernel, st *kernelState) Inst {
 
 // drawOp samples a non-branch op class from the kernel mix.
 func (g *Generator) drawOp(k *Kernel) OpClass {
-	total := 0.0
-	for _, w := range k.Mix {
-		total += w
-	}
-	x := g.rng.Float64() * total
+	x := g.rng.Float64() * g.mixTotals[g.kernel]
 	for c, w := range k.Mix {
 		if x < w {
 			return OpClass(c)

@@ -1,0 +1,280 @@
+// Command benchdiff is a benchstat-style before/after comparator for
+// `go test -bench` output, stdlib only. scripts/bench.sh uses it to emit
+// BENCH_sim.json; it is also useful on its own when iterating on the
+// simulator hot path:
+//
+//	go test -bench SimRun -benchmem ./internal/cpu > new.txt
+//	go run ./scripts/benchdiff old.txt new.txt
+//
+// Usage:
+//
+//	benchdiff [-json] old.txt new.txt   before/after comparison
+//	benchdiff [-json] new.txt           just parse and report one file
+//
+// Lines that do not start with "Benchmark" are ignored, so raw `go test`
+// output works directly. The CPU-count suffix ("-8") is stripped from
+// names, letting files recorded on different GOMAXPROCS compare. With
+// -json the comparison is emitted as a machine-readable document: per
+// benchmark every metric of both sides, the speedup on the headline
+// metric (ns/inst when present, ns/op otherwise), and the geometric mean
+// of the speedups.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// bench is one parsed benchmark line: a name plus metric values by unit.
+type bench struct {
+	name    string
+	iters   int64
+	metrics map[string]float64
+}
+
+// parseFile reads `go test -bench` output, keeping the last occurrence of
+// each benchmark name (reruns supersede earlier lines).
+func parseFile(path string) (map[string]bench, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	out := map[string]bench{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimCPUSuffix(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := bench{name: name, iters: iters, metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.metrics[fields[i+1]] = v
+		}
+		if _, seen := out[name]; !seen {
+			order = append(order, name)
+		}
+		out[name] = b
+	}
+	return out, order, sc.Err()
+}
+
+// trimCPUSuffix drops a trailing "-<digits>" GOMAXPROCS marker.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
+}
+
+// headline picks the metric a benchmark is judged by.
+func headline(b bench) string {
+	if _, ok := b.metrics["ns/inst"]; ok {
+		return "ns/inst"
+	}
+	return "ns/op"
+}
+
+type jsonBench struct {
+	Name     string             `json:"name"`
+	Old      map[string]float64 `json:"old,omitempty"`
+	New      map[string]float64 `json:"new"`
+	Headline string             `json:"headline_metric"`
+	Speedup  float64            `json:"speedup,omitempty"` // old/new on the headline metric
+}
+
+type jsonDoc struct {
+	OldFile    string      `json:"old_file,omitempty"`
+	NewFile    string      `json:"new_file"`
+	Benchmarks []jsonBench `json:"benchmarks"`
+	// GeomeanSpeedup covers the benchmarks present on both sides.
+	GeomeanSpeedup float64 `json:"geomean_speedup,omitempty"`
+	// Extra carries caller-supplied scalars (-extra key=value), e.g. the
+	// end-to-end report wall clock bench.sh measures outside `go test`.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// extraFlags collects repeated -extra key=value pairs.
+type extraFlags map[string]float64
+
+func (e extraFlags) String() string { return "" }
+
+func (e extraFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return err
+	}
+	e[k] = f
+	return nil
+}
+
+func main() {
+	asJSON := flag.Bool("json", false, "emit the comparison as JSON instead of a table")
+	extra := extraFlags{}
+	flag.Var(extra, "extra", "extra key=value scalar to embed in the JSON document (repeatable)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-json] [-extra k=v]... [old.txt] new.txt")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 || len(args) > 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldPath := ""
+	newPath := args[len(args)-1]
+	if len(args) == 2 {
+		oldPath = args[0]
+	}
+
+	oldB := map[string]bench{}
+	if oldPath != "" {
+		var err error
+		oldB, _, err = parseFile(oldPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	newB, order, err := parseFile(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(newB) == 0 {
+		fatal(fmt.Errorf("%s contains no benchmark lines", newPath))
+	}
+
+	doc := jsonDoc{OldFile: oldPath, NewFile: newPath}
+	if len(extra) > 0 {
+		doc.Extra = extra
+	}
+	logSum, logN := 0.0, 0
+	for _, name := range order {
+		nb := newB[name]
+		jb := jsonBench{Name: name, New: nb.metrics, Headline: headline(nb)}
+		if ob, ok := oldB[name]; ok {
+			jb.Old = ob.metrics
+			o, n := ob.metrics[jb.Headline], nb.metrics[jb.Headline]
+			if o > 0 && n > 0 {
+				jb.Speedup = o / n
+				logSum += math.Log(jb.Speedup)
+				logN++
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, jb)
+	}
+	if logN > 0 {
+		doc.GeomeanSpeedup = math.Exp(logSum / float64(logN))
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	w := newTable()
+	if oldPath == "" {
+		w.row("benchmark", "metric", "value")
+		for _, jb := range doc.Benchmarks {
+			for _, unit := range sortedUnits(jb.New) {
+				w.row(jb.Name, unit, fmt.Sprintf("%.6g", jb.New[unit]))
+			}
+		}
+	} else {
+		w.row("benchmark", "metric", "old", "new", "delta")
+		for _, jb := range doc.Benchmarks {
+			for _, unit := range sortedUnits(jb.New) {
+				o, ok := jb.Old[unit]
+				if !ok {
+					continue
+				}
+				n := jb.New[unit]
+				delta := "~"
+				if o > 0 {
+					delta = fmt.Sprintf("%+.1f%%", (n-o)/o*100)
+					if unit == jb.Headline && n > 0 {
+						delta += fmt.Sprintf(" (%.2fx)", o/n)
+					}
+				}
+				w.row(jb.Name, unit, fmt.Sprintf("%.6g", o), fmt.Sprintf("%.6g", n), delta)
+			}
+		}
+		if doc.GeomeanSpeedup > 0 {
+			w.row("GEOMEAN", "", "", "", fmt.Sprintf("%.2fx", doc.GeomeanSpeedup))
+		}
+	}
+	w.flush(os.Stdout)
+}
+
+func sortedUnits(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
+}
+
+// table is a minimal column-aligned writer.
+type table struct{ rows [][]string }
+
+func newTable() *table { return &table{} }
+
+func (t *table) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) flush(w *os.File) {
+	widths := map[int]int{}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			pad := widths[i] - len(c)
+			fmt.Fprint(w, c, strings.Repeat(" ", pad+2))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

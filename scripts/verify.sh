@@ -22,6 +22,17 @@ fi
 echo "== go test =="
 go test ./...
 
+echo "== golden digests (simulator byte-identity) =="
+# Fast tripwire for the hot-path optimisations: any change to simulation
+# results must either keep these digests bit-identical or bump
+# store.SimVersion (see CLAUDE.md). -count=1 defeats the test cache.
+go test -count=1 -run TestGoldenDigests ./internal/cpu
+
+echo "== go test -race internal/experiment =="
+# Exercises the WithWorkers build fan-out (workers_test.go) under the
+# race detector.
+go test -race ./internal/experiment
+
 echo "== go test -race internal/serve =="
 go test -race ./internal/serve
 

@@ -6,6 +6,7 @@
 //
 //	report [-scale test|default] [-programs mcf,swim,...] [-phases N]
 //	       [-interval N] [-uniform N] [-skip-slow] [-cache-dir DIR]
+//	       [-surrogate] [-surrogate-audit FRAC]
 //	       [-trace out.json] [-log-json] [-log-level info]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -34,6 +35,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/render"
 	"repro/internal/store"
+	"repro/internal/surrogate"
 )
 
 func main() {
@@ -44,6 +46,8 @@ func main() {
 		interval  = flag.Int("interval", 0, "instructions per phase interval (default: preset)")
 		uniform   = flag.Int("uniform", 0, "shared uniform samples (default: preset)")
 		skipSlow  = flag.Bool("skip-slow", false, "skip Figure 1 and Table IV (the slowest experiments)")
+		useSur    = flag.Bool("surrogate", false, "prune the design-space search with the learned surrogate (see README \"Surrogate search\")")
+		surAudit  = flag.Float64("surrogate-audit", 0, "override the surrogate audit fraction (0 keeps the default)")
 		cacheDir  = flag.String("cache-dir", "", "persistent result-store directory (reused across runs; empty disables)")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
@@ -163,16 +167,35 @@ func main() {
 		sc.UniformSamples = *uniform
 	}
 
+	opts := []experiment.Option{experiment.WithStore(st)}
+	if *useSur {
+		scfg := surrogate.DefaultConfig()
+		if *surAudit > 0 {
+			scfg.AuditFrac = *surAudit
+		}
+		opts = append(opts, experiment.WithSurrogate(scfg))
+	}
+
 	start := time.Now()
 	logger.Info("building dataset",
 		"programs", len(sc.Programs), "phasesPerProgram", sc.PhasesPerProgram,
-		"intervalInsts", sc.IntervalInsts, "sharedConfigs", sc.UniformSamples)
-	ds, err := experiment.Build(context.Background(), sc, experiment.WithStore(st))
+		"intervalInsts", sc.IntervalInsts, "sharedConfigs", sc.UniformSamples,
+		"surrogate", *useSur)
+	ds, err := experiment.Build(context.Background(), sc, opts...)
 	if err != nil {
 		die(err)
 	}
 	logger.Info("dataset built", "simulations", ds.SimCount(),
+		"searchSims", experiment.SearchSimCount(),
 		"elapsed", time.Since(start).Round(time.Second).String())
+	if sum := ds.SurrogateSummary(); sum != nil {
+		logger.Info("surrogate summary",
+			"exact", sum.Exact, "pruned", sum.Pruned, "audited", sum.Audited,
+			"observations", sum.Observations, "fits", sum.Fits,
+			"rankCorr", fmt.Sprintf("%.3f", sum.RankCorr),
+			"regret", fmt.Sprintf("%.3f", sum.Regret),
+			"calibMAE", fmt.Sprintf("%.3f", sum.CalibMAE))
+	}
 
 	fmt.Println(ds.TableIII().Render())
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,7 +38,7 @@ func main() {
 	sc.LocalSamples = 8
 
 	log.Println("building training data (a few thousand simulations)...")
-	ds, err := experiment.BuildDataset(sc)
+	ds, err := experiment.Build(context.Background(), sc)
 	if err != nil {
 		log.Fatal(err)
 	}

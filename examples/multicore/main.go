@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	sc.UniformSamples = 20
 	sc.LocalSamples = 6
 	log.Println("building training data...")
-	ds, err := experiment.BuildDataset(sc)
+	ds, err := experiment.Build(context.Background(), sc)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/surrogate"
 	"repro/internal/trace"
 )
 
@@ -87,6 +88,32 @@ func DefaultScale() Scale {
 		SampledSets:      32,
 		Seed:             2010,
 	}
+}
+
+// SearchBudget is the per-phase exact-simulation budget a Scale implies
+// for the three-stage search: how many candidate evaluations stage 1
+// (shared uniform sample), stage 2 (local neighbours) and stage 3
+// (one-at-a-time sweeps) request per phase. The surrogate's shortlist and
+// audit slices (surrogate.Config.ShortlistSize / AuditSize) carve their
+// budgets out of these counts.
+type SearchBudget struct {
+	Uniform int
+	Local   int
+	Sweep   int
+}
+
+// PerPhase is the total candidate evaluations per phase.
+func (b SearchBudget) PerPhase() int { return b.Uniform + b.Local + b.Sweep }
+
+// Budget returns the scale's per-phase search budget (after defaulting,
+// exactly as Build would see it).
+func (sc Scale) Budget() SearchBudget {
+	sc = sc.withDefaults()
+	b := SearchBudget{Uniform: sc.UniformSamples, Local: sc.LocalSamples}
+	for _, p := range sc.SweepParams {
+		b.Sweep += arch.DomainSize(p)
+	}
+	return b
 }
 
 func (sc Scale) withDefaults() Scale {
@@ -158,6 +185,16 @@ type Dataset struct {
 	// the fully sequential build.
 	workers int
 
+	// sur, when non-nil, is the surrogate-guided pruning state (see
+	// WithSurrogate). nil keeps every code path byte-identical to the
+	// plain build.
+	sur *surrogateState
+
+	// inSearch marks the three-stage search window of Build; exact
+	// in-sample simulations inside it are the search budget the
+	// repro_sims_exact counter (and the surrogate's >=2x claim) measures.
+	inSearch bool
+
 	// BestStatic is the shared configuration with the highest aggregate
 	// efficiency across all phases (the paper's baseline, Table III).
 	BestStatic arch.Config
@@ -168,8 +205,9 @@ type Dataset struct {
 type Option func(*buildOptions)
 
 type buildOptions struct {
-	store   *store.Store
-	workers int
+	store     *store.Store
+	workers   int
+	surrogate *surrogate.Config
 }
 
 // WithStore attaches a persistent result store to the build (nil is
@@ -195,34 +233,14 @@ func WithWorkers(n int) Option {
 	return func(o *buildOptions) { o.workers = n }
 }
 
-// BuildDataset runs the full data-gathering pipeline at the given scale.
-//
-// Deprecated: use Build.
-func BuildDataset(sc Scale) (*Dataset, error) {
-	return Build(context.Background(), sc)
-}
-
-// BuildDatasetCtx is BuildDataset with cooperative cancellation.
-//
-// Deprecated: use Build.
-func BuildDatasetCtx(ctx context.Context, sc Scale) (*Dataset, error) {
-	return Build(ctx, sc)
-}
-
-// BuildDatasetStore is BuildDatasetCtx with a persistent result store.
-//
-// Deprecated: use Build with WithStore.
-func BuildDatasetStore(ctx context.Context, sc Scale, st *store.Store) (*Dataset, error) {
-	return Build(ctx, sc, WithStore(st))
-}
-
 // Build runs the full data-gathering pipeline at the given scale: the
-// single entry point that replaced the BuildDataset/BuildDatasetCtx/
-// BuildDatasetStore trio. The pipeline checks ctx between phases (the
-// per-phase granularity keeps a SIGINT during adaptd's first-boot training
-// prompt without threading ctx into the simulator's inner loop); a
-// cancelled build returns ctx.Err() wrapped with the stage it was in.
-// Behaviour beyond that is opted into per call — see WithStore.
+// single entry point (the deprecated BuildDataset/BuildDatasetCtx/
+// BuildDatasetStore trio it replaced is gone). The pipeline checks ctx
+// between phases (the per-phase granularity keeps a SIGINT during adaptd's
+// first-boot training prompt without threading ctx into the simulator's
+// inner loop); a cancelled build returns ctx.Err() wrapped with the stage
+// it was in. Behaviour beyond that is opted into per call — see WithStore,
+// WithWorkers and WithSurrogate.
 func Build(ctx context.Context, sc Scale, opts ...Option) (*Dataset, error) {
 	var bo buildOptions
 	for _, opt := range opts {
@@ -243,6 +261,9 @@ func Build(ctx context.Context, sc Scale, opts ...Option) (*Dataset, error) {
 	}
 	if ds.workers < 1 {
 		ds.workers = 1
+	}
+	if bo.surrogate != nil {
+		ds.sur = newSurrogateState(*bo.surrogate, sc.Seed)
 	}
 
 	tr := obs.DefaultTracer()
@@ -283,6 +304,7 @@ func Build(ctx context.Context, sc Scale, opts ...Option) (*Dataset, error) {
 	}
 
 	// Simulate shared configs on every phase; refine per phase.
+	ds.inSearch = true
 	sp = tr.Start("search")
 	for i, id := range ds.Phases {
 		if err := ctx.Err(); err != nil {
@@ -299,6 +321,7 @@ func Build(ctx context.Context, sc Scale, opts ...Option) (*Dataset, error) {
 		reportProgress("search", i+1, len(ds.Phases))
 	}
 	sp.Finish()
+	ds.inSearch = false
 
 	sp = tr.Start("best-static")
 	ds.computeBestStatic()
@@ -376,6 +399,9 @@ type entry struct {
 
 // searchPhase runs the three-stage search for one phase.
 func (ds *Dataset) searchPhase(id PhaseID, rng *rand.Rand) error {
+	if ds.sur != nil {
+		return ds.searchPhaseSurrogate(id, rng)
+	}
 	// Stage 1: the shared uniform sample — a fixed batch, fanned across
 	// the worker pool.
 	if err := ds.runBatch(id, ds.SharedConfigs); err != nil {
@@ -500,6 +526,7 @@ func (ds *Dataset) runBatch(id PhaseID, cfgs []arch.Config) error {
 				return fmt.Errorf("experiment: phase %s: %w", id, e.err)
 			}
 			obsSims.Inc()
+			ds.countExact()
 			ds.memoize(id, e.cfg, e.res, true)
 			if ds.store != nil {
 				key := store.Fingerprint(id.Program, id.Phase, e.cfg, len(insts), opts.WarmupInsts)
@@ -583,6 +610,9 @@ func (ds *Dataset) simulate(id PhaseID, cfg arch.Config, opts cpu.Options, inSam
 		return nil, err
 	}
 	obsSims.Inc()
+	if inSample && !opts.Collect {
+		ds.countExact()
+	}
 	if !opts.Collect { // only cache the measurement-mode results
 		ds.memoize(id, cfg, res, inSample)
 		if ds.store != nil {
@@ -648,6 +678,10 @@ func (ds *Dataset) SampleSpace(id PhaseID) []arch.Config {
 // across the benchmarks"; a time-weighted total would instead be dominated
 // by the slowest phases).
 func (ds *Dataset) computeBestStatic() {
+	if ds.sur != nil {
+		ds.computeBestStaticSurrogate()
+		return
+	}
 	bestScore := -1.0
 	for _, cfg := range ds.SharedConfigs {
 		var effs []float64

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -19,7 +20,7 @@ var (
 func testDataset(t *testing.T) *Dataset {
 	t.Helper()
 	dsOnce.Do(func() {
-		dsVal, dsErr = BuildDataset(TestScale())
+		dsVal, dsErr = Build(context.Background(), TestScale())
 	})
 	if dsErr != nil {
 		t.Fatal(dsErr)
@@ -325,11 +326,11 @@ func TestBuildDatasetDeterministic(t *testing.T) {
 	sc.PhasesPerProgram = 1
 	sc.UniformSamples = 6
 	sc.LocalSamples = 2
-	a, err := BuildDataset(sc)
+	a, err := Build(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := BuildDataset(sc)
+	b, err := Build(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,7 +33,7 @@ func runTracedPipeline(t *testing.T) string {
 	tr.Reset()
 	tr.Enable()
 	defer tr.Disable()
-	ds, err := BuildDataset(obsScale())
+	ds, err := Build(context.Background(), obsScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,15 +65,15 @@ func TestPipelineSpanTreeDeterministic(t *testing.T) {
 	}
 }
 
-// TestBuildDatasetCtxCancelled asserts a pre-cancelled context aborts the
+// TestBuildCancelled asserts a pre-cancelled context aborts the
 // build promptly with a wrapped context error.
-func TestBuildDatasetCtxCancelled(t *testing.T) {
+func TestBuildCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := BuildDatasetCtx(ctx, obsScale()); err == nil || !strings.Contains(err.Error(), "cancelled") {
-		t.Errorf("BuildDatasetCtx with cancelled ctx: err = %v, want cancellation", err)
+	if _, err := Build(ctx, obsScale()); err == nil || !strings.Contains(err.Error(), "cancelled") {
+		t.Errorf("Build with cancelled ctx: err = %v, want cancellation", err)
 	}
-	ds, err := BuildDataset(obsScale())
+	ds, err := Build(context.Background(), obsScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestBuildDatasetCtxCancelled(t *testing.T) {
 // aggregate helpers and the search protocol's shared configs).
 func TestMemoStatsAdvance(t *testing.T) {
 	h0, m0 := MemoStats()
-	ds, err := BuildDataset(obsScale())
+	ds, err := Build(context.Background(), obsScale())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,7 @@ import (
 // into one string, returning it with the dataset.
 func renderPipeline(t *testing.T, st *store.Store) (string, *Dataset) {
 	t.Helper()
-	ds, err := BuildDatasetStore(context.Background(), obsScale(), st)
+	ds, err := Build(context.Background(), obsScale(), WithStore(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestStoreKeepsPredictionsOutOfSample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := BuildDatasetStore(context.Background(), obsScale(), st)
+	ds, err := Build(context.Background(), obsScale(), WithStore(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestStoreKeepsPredictionsOutOfSample(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	ds2, err := BuildDatasetStore(context.Background(), obsScale(), st2)
+	ds2, err := Build(context.Background(), obsScale(), WithStore(st2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package multicore
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -25,7 +26,7 @@ func testPredictor(t *testing.T) *core.Predictor {
 		sc.Programs = []string{"mcf", "swim", "crafty", "eon"}
 		sc.PhasesPerProgram = 2
 		var ds *experiment.Dataset
-		ds, predErr = experiment.BuildDataset(sc)
+		ds, predErr = experiment.Build(context.Background(), sc)
 		if predErr != nil {
 			return
 		}

@@ -1,0 +1,448 @@
+// Package surrogate implements a cheap learned proxy for the exact
+// simulator: a ridge-regression model over trace-derived phase statistics
+// and normalised configuration parameters that predicts log
+// energy-efficiency well enough to *rank* candidate configurations. The
+// experiment harness (internal/experiment, WithSurrogate) uses it to prune
+// the three-stage design-space search: the surrogate orders each candidate
+// batch, only a top-K shortlist plus a seeded random audit slice is
+// exact-simulated, and the audit results measure how much ranking quality
+// the pruning cost (rank correlation, regret).
+//
+// The model is an accelerator, never an authority: its estimates must not
+// enter the sample space, the memo table or any memoised experiment result
+// — only exact simulator results do (see CLAUDE.md). Everything here is
+// deterministic: training is incremental least squares (no stochastic
+// optimiser), ranking ties break on index, and the only randomness — the
+// audit draw — happens in the caller through a seeded math/rand/v2 PCG.
+package surrogate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+// Config tunes the surrogate-guided pruning. The zero value means "use the
+// defaults" field by field, so callers can override just one knob.
+type Config struct {
+	// KeepFrac is the fraction of each candidate batch that is
+	// exact-simulated from the top of the surrogate's ranking.
+	KeepFrac float64
+	// MinKeep floors the shortlist so every batch contributes at least
+	// this many exact results (and the incumbent search can always move).
+	MinKeep int
+	// AuditFrac is the fraction of the pruned remainder exact-simulated
+	// anyway, as a seeded random audit slice. Audits keep the model
+	// honest: they feed the rank-correlation and regret metrics and stop
+	// a miscalibrated model from silently discarding good regions.
+	AuditFrac float64
+	// MinTrain is the number of exact observations required before the
+	// model is allowed to prune; until then every candidate is simulated.
+	MinTrain int
+	// Refit re-solves the ridge system after this many new observations.
+	Refit int
+	// Lambda is the ridge strength, scaled by the observation count so
+	// regularisation stays proportional to the Gram matrix.
+	Lambda float64
+	// Seed drives the audit draw; 0 derives it from the experiment seed.
+	Seed uint64
+}
+
+// DefaultConfig returns the tuning used by cmd/report -surrogate and the
+// bench harness's REPRO_SURROGATE mode.
+func DefaultConfig() Config {
+	return Config{
+		KeepFrac:  0.2,
+		MinKeep:   1,
+		AuditFrac: 0.125,
+		MinTrain:  10,
+		Refit:     8,
+		Lambda:    1e-2,
+	}
+}
+
+// Normalized fills zero fields with their defaults.
+func (c Config) Normalized() Config {
+	d := DefaultConfig()
+	if c.KeepFrac <= 0 || c.KeepFrac > 1 {
+		c.KeepFrac = d.KeepFrac
+	}
+	if c.MinKeep <= 0 {
+		c.MinKeep = d.MinKeep
+	}
+	if c.AuditFrac <= 0 || c.AuditFrac > 1 {
+		c.AuditFrac = d.AuditFrac
+	}
+	if c.MinTrain <= 0 {
+		c.MinTrain = d.MinTrain
+	}
+	if c.Refit <= 0 {
+		c.Refit = d.Refit
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = d.Lambda
+	}
+	return c
+}
+
+// ShortlistSize returns how many of n ranked candidates are
+// exact-simulated from the top of the ranking.
+func (c Config) ShortlistSize(n int) int {
+	c = c.Normalized()
+	if n <= 0 {
+		return 0
+	}
+	k := int(math.Ceil(c.KeepFrac * float64(n)))
+	if k < c.MinKeep {
+		k = c.MinKeep
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// AuditSize returns how many of pruned candidates are exact-simulated as
+// the audit slice.
+func (c Config) AuditSize(pruned int) int {
+	c = c.Normalized()
+	if pruned <= 0 {
+		return 0
+	}
+	k := int(math.Ceil(c.AuditFrac * float64(pruned)))
+	if k > pruned {
+		k = pruned
+	}
+	return k
+}
+
+// PhaseDim is the length of the phase feature vector Featurize produces.
+const PhaseDim = 7
+
+// Featurize maps a trace summary to the surrogate's phase feature vector:
+// the workload-personality axes (memory pressure, FP share, branchiness)
+// plus log-compressed footprints, all roughly in [0, 1] so the ridge
+// penalty treats the dimensions evenly.
+func Featurize(st trace.Stats) []float64 {
+	return []float64{
+		st.MemFrac,
+		st.FpFrac,
+		clamp01(4 * st.BranchDensity),
+		st.TakenFrac,
+		logNorm(st.DataFootprintKB, 4096),
+		logNorm(st.CodeFootprintKB, 4096),
+		logNorm(float64(st.DistinctBlocks), 4096),
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// logNorm compresses v into [0, 1] on a log scale saturating at hi.
+func logNorm(v, hi float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return clamp01(math.Log2(1+v) / math.Log2(1+hi))
+}
+
+// Model predicts log energy-efficiency from (phase features, config) pairs
+// by incremental ridge regression: Observe accumulates the normal
+// equations, Fit solves them by Cholesky. The feature map is phase stats,
+// normalised per-parameter domain indices, their squares (efficiency peaks
+// in the interior of most domains — bigger structures buy IPS but charge
+// energy), and phase x config interaction terms so rankings specialise per
+// phase. Not safe for concurrent use; the experiment build drives it from
+// one goroutine.
+type Model struct {
+	cfg      Config
+	phaseDim int
+	dim      int
+
+	n    int       // observations accumulated
+	gram []float64 // dim x dim, sum of x xT
+	xty  []float64 // sum of x*y
+
+	w    []float64 // solved weights; nil until the first successful Fit
+	fitN int       // observations at the last Fit
+	fits int
+
+	// Prequential calibration: every observation made while the model is
+	// fitted is first predicted, so the error is always out-of-fit.
+	calibSum float64
+	calibN   int
+
+	feat []float64 // scratch feature buffer
+}
+
+// NewModel returns an empty model for the given phase-feature
+// dimensionality (use PhaseDim with Featurize).
+func NewModel(phaseDim int, cfg Config) *Model {
+	if phaseDim <= 0 {
+		phaseDim = PhaseDim
+	}
+	np := int(arch.NumParams)
+	d := 1 + phaseDim + 2*np + phaseDim*np
+	return &Model{
+		cfg:      cfg.Normalized(),
+		phaseDim: phaseDim,
+		dim:      d,
+		gram:     make([]float64, d*d),
+		xty:      make([]float64, d),
+		feat:     make([]float64, 0, d),
+	}
+}
+
+// Config returns the model's normalised tuning.
+func (m *Model) Config() Config { return m.cfg }
+
+// features builds the joint feature vector into the scratch buffer.
+func (m *Model) features(phase []float64, cfg arch.Config) []float64 {
+	if len(phase) != m.phaseDim {
+		panic(fmt.Sprintf("surrogate: phase vector has %d features, model wants %d", len(phase), m.phaseDim))
+	}
+	x := m.feat[:0]
+	x = append(x, 1)
+	x = append(x, phase...)
+	var cf [arch.NumParams]float64
+	for p := arch.Param(0); p < arch.NumParams; p++ {
+		if n := arch.DomainSize(p); n > 1 {
+			cf[p] = float64(arch.IndexOf(p, cfg[p])) / float64(n-1)
+		}
+	}
+	for _, v := range cf {
+		x = append(x, v)
+	}
+	for _, v := range cf {
+		x = append(x, v*v)
+	}
+	for _, ph := range phase {
+		for _, v := range cf {
+			x = append(x, ph*v)
+		}
+	}
+	m.feat = x
+	return x
+}
+
+// logEff is the regression target: log efficiency spans the orders of
+// magnitude between configurations far more evenly than raw ips^3/Watt.
+func logEff(eff float64) float64 {
+	if eff < 1e-300 {
+		eff = 1e-300
+	}
+	return math.Log(eff)
+}
+
+// Observe accumulates one exact simulator result. Only exact results may
+// be observed — the model must never train on its own estimates.
+func (m *Model) Observe(phase []float64, cfg arch.Config, efficiency float64) {
+	y := logEff(efficiency)
+	x := m.features(phase, cfg)
+	if m.w != nil {
+		m.calibSum += math.Abs(m.predict(x) - y)
+		m.calibN++
+	}
+	d := m.dim
+	for i := 0; i < d; i++ {
+		xi := x[i]
+		m.xty[i] += xi * y
+		row := m.gram[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			row[j] += xi * x[j]
+		}
+	}
+	m.n++
+}
+
+// Observations returns how many exact results have been observed.
+func (m *Model) Observations() int { return m.n }
+
+// SinceFit returns how many observations arrived after the last Fit.
+func (m *Model) SinceFit() int { return m.n - m.fitN }
+
+// Fits returns how many times the ridge system has been solved.
+func (m *Model) Fits() int { return m.fits }
+
+// Ready reports whether the model has been fitted and may rank.
+func (m *Model) Ready() bool { return m.w != nil }
+
+// Calibration returns the prequential mean absolute error of the model's
+// log-efficiency predictions (each observation after the first fit is
+// predicted before it is trained on) and the number of such predictions.
+func (m *Model) Calibration() (mae float64, n int) {
+	if m.calibN == 0 {
+		return 0, 0
+	}
+	return m.calibSum / float64(m.calibN), m.calibN
+}
+
+// Fit solves the ridge system (Gram + lambda*n*I) w = X^T y by Cholesky.
+// With lambda > 0 the system is symmetric positive definite, so failure
+// indicates numerical trouble; the previous weights (if any) are kept.
+func (m *Model) Fit() error {
+	if m.n == 0 {
+		return fmt.Errorf("surrogate: fit with no observations")
+	}
+	d := m.dim
+	a := make([]float64, d*d)
+	copy(a, m.gram)
+	ridge := m.cfg.Lambda * float64(m.n)
+	for i := 0; i < d; i++ {
+		a[i*d+i] += ridge
+	}
+	l, err := cholesky(a, d)
+	if err != nil {
+		return err
+	}
+	m.w = cholSolve(l, d, m.xty)
+	m.fitN = m.n
+	m.fits++
+	return nil
+}
+
+// predict evaluates the fitted model on a feature vector.
+func (m *Model) predict(x []float64) float64 {
+	s := 0.0
+	for i, wi := range m.w {
+		s += wi * x[i]
+	}
+	return s
+}
+
+// Predict returns the predicted log efficiency of cfg on the phase.
+// Callers must check Ready first; an unfitted model predicts -Inf.
+func (m *Model) Predict(phase []float64, cfg arch.Config) float64 {
+	if m.w == nil {
+		return math.Inf(-1)
+	}
+	return m.predict(m.features(phase, cfg))
+}
+
+// Rank orders cfgs by predicted efficiency, best first, ties broken
+// toward the lower index so the ordering is fully deterministic. It
+// returns the candidate indices in rank order and the per-candidate
+// predicted log efficiencies (indexed like cfgs, not like order).
+func (m *Model) Rank(phase []float64, cfgs []arch.Config) (order []int, scores []float64) {
+	scores = make([]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		scores[i] = m.Predict(phase, cfg)
+	}
+	order = make([]int, len(cfgs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order, scores
+}
+
+// cholesky factors the symmetric positive definite matrix a (row-major,
+// d x d) into lower-triangular L with a = L L^T.
+func cholesky(a []float64, d int) ([]float64, error) {
+	l := make([]float64, d*d)
+	for i := 0; i < d; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*d+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*d+k] * l[j*d+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("surrogate: matrix not positive definite at %d", i)
+				}
+				l[i*d+i] = math.Sqrt(sum)
+			} else {
+				l[i*d+j] = sum / l[j*d+j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// cholSolve solves L L^T x = b given the Cholesky factor.
+func cholSolve(l []float64, d int, b []float64) []float64 {
+	y := make([]float64, d)
+	for i := 0; i < d; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i*d+k] * y[k]
+		}
+		y[i] = sum / l[i*d+i]
+	}
+	x := make([]float64, d)
+	for i := d - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < d; k++ {
+			sum -= l[k*d+i] * x[k]
+		}
+		x[i] = sum / l[i*d+i]
+	}
+	return x
+}
+
+// Spearman returns the Spearman rank correlation of a and b (ties get
+// average ranks). It is the audit-quality metric: how well the
+// surrogate's predicted ordering agrees with the exact one. Returns 0
+// when either side has no variance or fewer than two points.
+func Spearman(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ra, rb := ranks(a), ranks(b)
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range ra {
+		da, db := ra[i]-ma, rb[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// ranks assigns 1-based ranks with ties averaged.
+func ranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	r := make([]float64, len(v))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}

@@ -1,0 +1,210 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+func TestConfigNormalized(t *testing.T) {
+	var zero Config
+	if got, want := zero.Normalized(), DefaultConfig(); got != want {
+		t.Errorf("zero config normalised to %+v, want defaults %+v", got, want)
+	}
+	c := Config{KeepFrac: 0.5, Seed: 7}.Normalized()
+	if c.KeepFrac != 0.5 || c.Seed != 7 {
+		t.Errorf("overrides lost: %+v", c)
+	}
+	if c.MinTrain != DefaultConfig().MinTrain {
+		t.Errorf("unset field not defaulted: %+v", c)
+	}
+}
+
+func TestShortlistAndAuditSizes(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []struct {
+		n, keep, audit int // audit computed on n-keep pruned
+	}{
+		{0, 0, 0},
+		{1, 1, 0},
+		{4, 1, 1},
+		{10, 2, 1},
+		{36, 8, 4},
+		{100, 20, 10},
+	}
+	for _, tc := range cases {
+		if got := cfg.ShortlistSize(tc.n); got != tc.keep {
+			t.Errorf("ShortlistSize(%d) = %d, want %d", tc.n, got, tc.keep)
+		}
+		if got := cfg.AuditSize(tc.n - tc.keep); got != tc.audit {
+			t.Errorf("AuditSize(%d) = %d, want %d", tc.n-tc.keep, got, tc.audit)
+		}
+		if k, a := cfg.ShortlistSize(tc.n), cfg.AuditSize(tc.n-tc.keep); k+a > tc.n && tc.n > 0 {
+			t.Errorf("n=%d: shortlist %d + audit %d exceeds batch", tc.n, k, a)
+		}
+	}
+}
+
+func TestFeaturizeDim(t *testing.T) {
+	if got := len(Featurize(trace.Stats{})); got != PhaseDim {
+		t.Fatalf("Featurize length %d != PhaseDim %d", got, PhaseDim)
+	}
+	f := Featurize(trace.Stats{MemFrac: 0.3, FpFrac: 0.2, BranchDensity: 0.15,
+		TakenFrac: 0.6, DataFootprintKB: 128, CodeFootprintKB: 8, DistinctBlocks: 40})
+	for i, v := range f {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Errorf("feature %d = %v outside [0,1]", i, v)
+		}
+	}
+}
+
+// synthEff is a deterministic ground truth with an interior optimum along
+// one parameter and a phase-dependent preference along another — the two
+// structures the quadratic and interaction terms exist to capture.
+func synthEff(phase []float64, cfg arch.Config) float64 {
+	w := float64(arch.IndexOf(arch.Width, cfg[arch.Width])) / float64(arch.DomainSize(arch.Width)-1)
+	l2 := float64(arch.IndexOf(arch.L2CacheKB, cfg[arch.L2CacheKB])) / float64(arch.DomainSize(arch.L2CacheKB)-1)
+	y := -2*(w-0.5)*(w-0.5) + (2*phase[0]-1)*l2
+	return math.Exp(y)
+}
+
+func trainSynthetic(m *Model, n int, seed uint64) {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	phases := [][]float64{
+		Featurize(trace.Stats{MemFrac: 0.45, TakenFrac: 0.5, DataFootprintKB: 512}),
+		Featurize(trace.Stats{MemFrac: 0.05, FpFrac: 0.4, TakenFrac: 0.9, DataFootprintKB: 16}),
+	}
+	for i := 0; i < n; i++ {
+		ph := phases[i%2]
+		cfg := arch.Random(rng)
+		m.Observe(ph, cfg, synthEff(ph, cfg))
+	}
+}
+
+func TestModelRanksSynthetic(t *testing.T) {
+	m := NewModel(PhaseDim, Config{})
+	trainSynthetic(m, 300, 42)
+	if err := m.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 0))
+	ph := Featurize(trace.Stats{MemFrac: 0.45, TakenFrac: 0.5, DataFootprintKB: 512})
+	cands := make([]arch.Config, 40)
+	truth := make([]float64, len(cands))
+	for i := range cands {
+		cands[i] = arch.Random(rng)
+		truth[i] = math.Log(synthEff(ph, cands[i]))
+	}
+	_, scores := m.Rank(ph, cands)
+	if rho := Spearman(scores, truth); rho < 0.5 {
+		t.Errorf("rank correlation on synthetic ground truth = %.3f, want >= 0.5", rho)
+	}
+}
+
+func TestModelDeterministic(t *testing.T) {
+	a := NewModel(PhaseDim, Config{})
+	b := NewModel(PhaseDim, Config{})
+	trainSynthetic(a, 120, 9)
+	trainSynthetic(b, 120, 9)
+	if err := a.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 0))
+	ph := Featurize(trace.Stats{MemFrac: 0.2, TakenFrac: 0.7, DataFootprintKB: 64})
+	cands := make([]arch.Config, 25)
+	for i := range cands {
+		cands[i] = arch.Random(rng)
+	}
+	oa, sa := a.Rank(ph, cands)
+	ob, sb := b.Rank(ph, cands)
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatalf("rank order differs at %d: %d vs %d", i, oa[i], ob[i])
+		}
+		if sa[i] != sb[i] {
+			t.Fatalf("score %d differs: %v vs %v", i, sa[i], sb[i])
+		}
+	}
+}
+
+func TestRankTieBreaksOnIndex(t *testing.T) {
+	m := NewModel(PhaseDim, Config{})
+	trainSynthetic(m, 60, 5)
+	if err := m.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	ph := Featurize(trace.Stats{MemFrac: 0.3, TakenFrac: 0.5})
+	cfg := arch.Baseline()
+	order, _ := m.Rank(ph, []arch.Config{cfg, cfg, cfg})
+	for i, o := range order {
+		if o != i {
+			t.Fatalf("equal scores must keep index order, got %v", order)
+		}
+	}
+}
+
+func TestUnfittedModelIsNotReady(t *testing.T) {
+	m := NewModel(PhaseDim, Config{})
+	if m.Ready() {
+		t.Fatal("empty model claims ready")
+	}
+	ph := Featurize(trace.Stats{})
+	if p := m.Predict(ph, arch.Baseline()); !math.IsInf(p, -1) {
+		t.Errorf("unfitted Predict = %v, want -Inf", p)
+	}
+	if err := m.Fit(); err == nil {
+		t.Error("Fit with no observations must error")
+	}
+}
+
+func TestCalibrationIsPrequential(t *testing.T) {
+	m := NewModel(PhaseDim, Config{})
+	if _, n := m.Calibration(); n != 0 {
+		t.Fatal("calibration counted before any fit")
+	}
+	trainSynthetic(m, 80, 11)
+	if _, n := m.Calibration(); n != 0 {
+		t.Fatal("calibration counted before the first fit")
+	}
+	if err := m.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	trainSynthetic(m, 40, 12)
+	mae, n := m.Calibration()
+	if n != 40 {
+		t.Fatalf("calibration n = %d, want 40 (post-fit observations only)", n)
+	}
+	if math.IsNaN(mae) || mae < 0 {
+		t.Fatalf("calibration MAE = %v", mae)
+	}
+	// The synthetic target spans roughly [-1.5, 1.5] in log space; a
+	// fitted model must do far better than the ~0.75 a constant would.
+	if mae > 0.5 {
+		t.Errorf("calibration MAE = %.3f, want < 0.5 on synthetic data", mae)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	if rho := Spearman([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}); math.Abs(rho-1) > 1e-12 {
+		t.Errorf("perfect agreement: rho = %v", rho)
+	}
+	if rho := Spearman([]float64{1, 2, 3, 4}, []float64{4, 3, 2, 1}); math.Abs(rho+1) > 1e-12 {
+		t.Errorf("perfect disagreement: rho = %v", rho)
+	}
+	if rho := Spearman([]float64{1, 1, 1}, []float64{1, 2, 3}); rho != 0 {
+		t.Errorf("no variance: rho = %v, want 0", rho)
+	}
+	if rho := Spearman([]float64{1}, []float64{1}); rho != 0 {
+		t.Errorf("single point: rho = %v, want 0", rho)
+	}
+	// Ties on one side: monotone apart from the tie, still positive.
+	if rho := Spearman([]float64{1, 2, 2, 4}, []float64{1, 2, 3, 4}); rho <= 0.8 {
+		t.Errorf("tied ranks: rho = %v, want > 0.8", rho)
+	}
+}

@@ -17,7 +17,8 @@
 // -json the comparison is emitted as a machine-readable document: per
 // benchmark every metric of both sides, the speedup on the headline
 // metric (ns/inst when present, ns/op otherwise), and the geometric mean
-// of the speedups.
+// of the speedups. With -threshold PCT the command exits 1 when the
+// geomean speedup falls below 1-PCT/100 — a drop-in CI regression gate.
 package main
 
 import (
@@ -140,10 +141,12 @@ func (e extraFlags) Set(s string) error {
 
 func main() {
 	asJSON := flag.Bool("json", false, "emit the comparison as JSON instead of a table")
+	threshold := flag.Float64("threshold", 0,
+		"exit 1 if the geomean speedup regresses by more than this percent (0 disables; needs old.txt)")
 	extra := extraFlags{}
 	flag.Var(extra, "extra", "extra key=value scalar to embed in the JSON document (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-json] [-extra k=v]... [old.txt] new.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-json] [-threshold PCT] [-extra k=v]... [old.txt] new.txt")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -203,6 +206,7 @@ func main() {
 		if err := enc.Encode(doc); err != nil {
 			fatal(err)
 		}
+		checkThreshold(doc, *threshold)
 		return
 	}
 
@@ -238,6 +242,23 @@ func main() {
 		}
 	}
 	w.flush(os.Stdout)
+	checkThreshold(doc, *threshold)
+}
+
+// checkThreshold turns benchdiff into a CI gate: with -threshold set and a
+// before/after pair compared, a geomean speedup below 1-threshold% is a
+// regression and the process exits non-zero.
+func checkThreshold(doc jsonDoc, pct float64) {
+	if pct <= 0 || doc.OldFile == "" || doc.GeomeanSpeedup <= 0 {
+		return
+	}
+	floor := 1 - pct/100
+	if doc.GeomeanSpeedup < floor {
+		fmt.Fprintf(os.Stderr,
+			"benchdiff: geomean speedup %.3fx regresses more than %.1f%% (floor %.3fx)\n",
+			doc.GeomeanSpeedup, pct, floor)
+		os.Exit(1)
+	}
 }
 
 func sortedUnits(m map[string]float64) []string {

@@ -42,14 +42,21 @@ go test -race ./internal/obs
 echo "== go test -race internal/store =="
 go test -race ./internal/store
 
+echo "== go test -race internal/surrogate =="
+go test -race ./internal/surrogate
+
 echo "== report -trace smoke =="
 trace_out=$(mktemp /tmp/verify-trace.XXXXXX.json)
 cache_dir=$(mktemp -d /tmp/verify-store.XXXXXX)
 cold_out=$(mktemp /tmp/verify-cold.XXXXXX)
 warm_out=$(mktemp /tmp/verify-warm.XXXXXX)
 warm_err=$(mktemp /tmp/verify-warmerr.XXXXXX)
-trap 'rm -rf "$trace_out" "$cache_dir" "$cold_out" "$warm_out" "$warm_err"' EXIT
-go run ./cmd/report -scale test -skip-slow -trace "$trace_out" >/dev/null
+sur_off_out=$(mktemp /tmp/verify-suroff.XXXXXX)
+sur_off_err=$(mktemp /tmp/verify-surofferr.XXXXXX)
+sur_on_out=$(mktemp /tmp/verify-suron.XXXXXX)
+sur_on_err=$(mktemp /tmp/verify-suronerr.XXXXXX)
+trap 'rm -rf "$trace_out" "$cache_dir" "$cold_out" "$warm_out" "$warm_err" "$sur_off_out" "$sur_off_err" "$sur_on_out" "$sur_on_err"' EXIT
+go run ./cmd/report -scale test -skip-slow -trace "$trace_out" >"$sur_off_out" 2>"$sur_off_err"
 go run ./scripts/checktrace "$trace_out"
 
 echo "== report result-store cold/warm smoke =="
@@ -71,13 +78,39 @@ if ! awk -v r="$warm_rate" 'BEGIN { exit !(r >= 0.90) }'; then
 fi
 echo "store smoke: warm run byte-identical, hit rate $warm_rate"
 
+echo "== surrogate search smoke =="
+# The surrogate is an opt-in accelerator: with the flag off the report must
+# stay byte-identical to the baseline run, and with it on the search must
+# spend at most half the exact simulations (README "Surrogate search").
+if ! cmp -s "$sur_off_out" "$cold_out"; then
+    echo "surrogate smoke: surrogate-off run differs from the baseline report" >&2
+    diff "$sur_off_out" "$cold_out" | head -20 >&2
+    exit 1
+fi
+go run ./cmd/report -scale test -skip-slow -surrogate >"$sur_on_out" 2>"$sur_on_err"
+off_sims=$(grep -o 'searchSims=[0-9]*' "$sur_off_err" | tail -1 | cut -d= -f2)
+on_sims=$(grep -o 'searchSims=[0-9]*' "$sur_on_err" | tail -1 | cut -d= -f2)
+if [ -z "$off_sims" ] || [ -z "$on_sims" ] || [ "$on_sims" -eq 0 ]; then
+    echo "surrogate smoke: missing searchSims in report logs (off='$off_sims' on='$on_sims')" >&2
+    exit 1
+fi
+if [ $((2 * on_sims)) -gt "$off_sims" ]; then
+    echo "surrogate smoke: search sims only dropped ${off_sims} -> ${on_sims} (< 2x)" >&2
+    exit 1
+fi
+if ! grep -q 'surrogate summary' "$sur_on_err"; then
+    echo "surrogate smoke: no surrogate summary line in the -surrogate run" >&2
+    exit 1
+fi
+echo "surrogate smoke: search sims $off_sims -> $on_sims"
+
 echo "== adaptd batch loadgen smoke =="
 # Boot the daemon against the warm result store (training replays from
 # disk), fire the deterministic load generator in batch mode, and require a
 # clean report plus a populated batch-size histogram in the metrics dump.
 model_dir=$(mktemp -d /tmp/verify-adaptd.XXXXXX)
 loadgen_out=$(mktemp /tmp/verify-loadgen.XXXXXX)
-trap 'rm -rf "$trace_out" "$cache_dir" "$cold_out" "$warm_out" "$warm_err" "$model_dir" "$loadgen_out"' EXIT
+trap 'rm -rf "$trace_out" "$cache_dir" "$cold_out" "$warm_out" "$warm_err" "$sur_off_out" "$sur_off_err" "$sur_on_out" "$sur_on_err" "$model_dir" "$loadgen_out"' EXIT
 go run ./cmd/adaptd -model "$model_dir/adaptd.model" -counter-set basic \
     -train-scale test -cache-dir "$cache_dir" \
     -loadgen -loadgen-requests 512 -batch 64 >"$loadgen_out" 2>/dev/null

@@ -12,7 +12,9 @@
 // ~40-minute table/figure regeneration resumable: an interrupted run
 // keeps every simulation it paid for, and a repeat run replays from disk.
 // REPRO_SURROGATE=1 prunes the design-space search with the learned
-// surrogate (README "Surrogate search").
+// surrogate (README "Surrogate search"). REPRO_MANIFEST=<path> writes a
+// run manifest after the pipeline build (auto-named manifest-bench.json
+// under REPRO_CACHE_DIR when that is set); see README "Run manifests".
 package repro
 
 import (
@@ -21,6 +23,7 @@ import (
 	"log/slog"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -39,6 +42,16 @@ import (
 	"repro/internal/surrogate"
 	"repro/internal/trace"
 )
+
+// benchScaleName is the resolved REPRO_BENCH_SCALE name, for the manifest.
+func benchScaleName() string {
+	switch s := os.Getenv("REPRO_BENCH_SCALE"); s {
+	case "test", "full":
+		return s
+	default:
+		return "mid"
+	}
+}
 
 // benchScale resolves the harness scale from the environment.
 func benchScale() experiment.Scale {
@@ -76,6 +89,19 @@ func pipeline(b *testing.B) (*experiment.Dataset, *experiment.Evaluation, *exper
 		sc := benchScale()
 		fmt.Printf("# building dataset: %d programs x %d phases, %d-inst intervals\n",
 			len(sc.Programs), sc.PhasesPerProgram, sc.IntervalInsts)
+		// REPRO_MANIFEST records the build into a run manifest; the tracer
+		// must be live before the store opens so the span tree is complete.
+		manifestPath := os.Getenv("REPRO_MANIFEST")
+		if manifestPath == "" {
+			if dir := os.Getenv("REPRO_CACHE_DIR"); dir != "" {
+				manifestPath = filepath.Join(dir, "manifest-bench.json")
+			}
+		}
+		tr := obs.DefaultTracer()
+		if manifestPath != "" {
+			tr.Enable()
+		}
+		buildStart := time.Now()
 		// Live progress/ETA with the memo hit rate — the full-scale build
 		// takes tens of minutes and used to be silent.
 		prog := &obs.Progress{Logger: obs.NewLogger(os.Stderr, false, slog.LevelInfo), Every: 10 * time.Second}
@@ -120,6 +146,25 @@ func pipeline(b *testing.B) (*experiment.Dataset, *experiment.Evaluation, *exper
 			st := pipeStore.Stats()
 			fmt.Printf("# result store after build: hits=%d misses=%d records=%d\n",
 				st.Hits, st.Misses, st.Records)
+		}
+		if manifestPath != "" {
+			elapsed := time.Since(buildStart)
+			m := obs.NewManifest("bench")
+			m.SetDet("benchScale", benchScaleName())
+			experiment.FillBuildManifest(m, pipeDS)
+			tr.FillManifest(m)
+			m.SetTiming("totalSeconds", elapsed.Seconds())
+			if insts := cpu.SimulatedInstructions(); insts > 0 {
+				m.SetTiming("nsPerInst", elapsed.Seconds()*1e9/float64(insts))
+			}
+			if pipeStore != nil {
+				pipeStore.Stats().FillManifest(m, elapsed.Seconds())
+			}
+			if err := m.WriteFile(manifestPath); err != nil {
+				fmt.Printf("# manifest error: %v\n", err)
+			} else {
+				fmt.Printf("# manifest written: %s\n", manifestPath)
+			}
 		}
 		fmt.Printf("# dataset: %d simulations; LOOCV (advanced)...\n", pipeDS.SimCount())
 		pipeAdv, pipeErr = pipeDS.EvaluateModel(counters.Advanced)

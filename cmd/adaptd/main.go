@@ -12,6 +12,11 @@
 //	                     ?probs=1 adds the per-parameter soft-max
 //	                     probabilities)
 //	GET  /v1/designspace Table I metadata and the serving model's shape
+//	GET  /v1/status      SLO snapshot: model fingerprint, per-(path, code)
+//	                     request counters, error rates, cache and batch
+//	                     stats, and windowed per-route latency
+//	                     p50/p99/p999 — uptime-free, so snapshots diff
+//	                     cleanly
 //	GET  /healthz        liveness + model info + cache stats
 //	GET  /metrics        Prometheus text: request counts, latency
 //	                     histogram, cache hit rate, saturation, plus the
@@ -28,7 +33,7 @@
 //	       [-quantized] [-train-scale test|default] [-cache-dir DIR]
 //	       [-cache 4096] [-max-inflight 64] [-timeout 5s] [-max-body N]
 //	       [-coalesce-window 0] [-coalesce-max 64]
-//	       [-debug] [-log-json] [-log-level info]
+//	       [-debug] [-log-json] [-log-level info] [-manifest out.json]
 //	       [-loadgen] [-loadgen-requests N] [-loadgen-conc N]
 //	       [-loadgen-pool N] [-batch N] [-seed N]
 //
@@ -44,6 +49,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -52,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -86,6 +93,7 @@ func main() {
 		lgPool     = flag.Int("loadgen-pool", 64, "loadgen: distinct feature vectors (repeats exercise the cache)")
 		lgBatch    = flag.Int("batch", 1, "loadgen: feature vectors per request (>= 2 uses the batch payload)")
 		seed       = flag.Uint64("seed", 1, "loadgen schedule seed")
+		manifest   = flag.String("manifest", "", "write a run manifest to this file; defaults to manifest-adaptd.json under -cache-dir")
 	)
 	flag.Parse()
 
@@ -110,12 +118,18 @@ func main() {
 		tracer.Enable()
 	}
 
+	manifestPath := *manifest
+	if manifestPath == "" && *cacheDir != "" {
+		manifestPath = filepath.Join(*cacheDir, "manifest-adaptd.json")
+	}
+
 	// The signal context exists before first-boot training so a SIGINT
 	// during the (potentially long) dataset build exits promptly instead of
 	// waiting for training to finish.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	bootStart := time.Now()
 	pred, err := bootPredictor(ctx, logger, *modelPath, set, *trainScale, *cacheDir)
 	if err != nil {
 		die(err)
@@ -144,12 +158,41 @@ func main() {
 	logger.Info("serving model", "mode", mode, "counters", eng.Set().String(),
 		"weights", eng.WeightCount(), "dim", eng.Dim(), "debug", *debug)
 
+	// The manifest's deterministic section holds the serving configuration
+	// and the model fingerprint; boot time (which covers first-boot
+	// training when the model file was absent) is timing.
+	var man *obs.Manifest
+	if manifestPath != "" {
+		man = obs.NewManifest("adaptd")
+		man.SetDet("counterSet", set.String())
+		man.SetDet("quantized", *quantized)
+		man.SetDet("trainScale", *trainScale)
+		man.SetDet("modelVersion", eng.Version())
+		man.SetDet("cacheSize", *cacheSize)
+		man.SetDet("maxInflight", *maxInfl)
+		man.SetDet("coalesceWindowNS", int64(*coWindow))
+		man.SetDet("coalesceMax", *coMax)
+		man.SetTiming("bootSeconds", time.Since(bootStart).Seconds())
+	}
+	writeManifest := func() {
+		if man == nil {
+			return
+		}
+		if err := man.WriteFile(manifestPath); err != nil {
+			logger.Error("writing manifest", "err", err)
+			return
+		}
+		logger.Info("manifest written", "path", manifestPath)
+	}
+
 	if *loadgen {
 		// Loadgen binds its own loopback port: it benchmarks the serving
 		// stack in-process rather than exposing -addr.
-		runLoadgen(logger, srv, *lgRequests, *lgConc, *lgPool, *lgBatch, *seed)
+		runLoadgen(logger, srv, man, *lgRequests, *lgConc, *lgPool, *lgBatch, *seed)
+		writeManifest()
 		return
 	}
+	writeManifest()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -244,8 +287,11 @@ func bootPredictor(ctx context.Context, logger *slog.Logger, path string, set co
 }
 
 // runLoadgen serves on a local listener and fires the seeded load
-// generator at it, printing the report and the server's own metrics.
-func runLoadgen(logger *slog.Logger, srv *serve.Server, requests, conc, pool, batch int, seed uint64) {
+// generator at it, printing the report, the /v1/status windowed latency
+// quantiles and the server's own metrics. When man is non-nil, the
+// schedule joins its deterministic section and every measured outcome
+// (counts included — 429s are timing-dependent) joins timing.
+func runLoadgen(logger *slog.Logger, srv *serve.Server, man *obs.Manifest, requests, conc, pool, batch int, seed uint64) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		logger.Error("fatal", "err", err)
@@ -271,5 +317,62 @@ func runLoadgen(logger *slog.Logger, srv *serve.Server, requests, conc, pool, ba
 	}
 	fmt.Println(rep)
 	fmt.Printf("server cache hit rate: %.1f%%\n\n", 100*srv.HitRate())
+
+	status := fetchStatus(logger, "http://"+ln.Addr().String())
+	if status != nil {
+		fmt.Println("latency SLOs from /v1/status (windowed):")
+		for _, rl := range status.Latency {
+			if rl.TotalCount == 0 {
+				continue
+			}
+			fmt.Printf("  slo %-16s p50=%.6fs p99=%.6fs p999=%.6fs requests=%d\n",
+				rl.Path, rl.P50Seconds, rl.P99Seconds, rl.P999Seconds, rl.TotalCount)
+		}
+		fmt.Println()
+	}
 	fmt.Println(srv.MetricsText())
+
+	if man != nil {
+		man.SetDet("loadgen.requests", requests)
+		man.SetDet("loadgen.concurrency", conc)
+		man.SetDet("loadgen.pool", pool)
+		man.SetDet("loadgen.batch", batch)
+		man.SetDet("loadgen.seed", seed)
+		man.SetTiming("loadgen.elapsedSeconds", rep.Elapsed.Seconds())
+		man.SetTiming("loadgen.requestsPerSec", rep.RequestsPerSec)
+		man.SetTiming("loadgen.p50Seconds", rep.P50.Seconds())
+		man.SetTiming("loadgen.p95Seconds", rep.P95.Seconds())
+		man.SetTiming("loadgen.maxSeconds", rep.Max.Seconds())
+		man.SetTiming("loadgen.ok", float64(rep.OK))
+		man.SetTiming("loadgen.rejected", float64(rep.Rejected))
+		man.SetTiming("loadgen.errors", float64(rep.ClientErr+rep.ServerErr+rep.Transport))
+		man.SetTiming("loadgen.cacheHits", float64(rep.CacheHits))
+		if status != nil {
+			for _, rl := range status.Latency {
+				if rl.TotalCount == 0 {
+					continue
+				}
+				man.SetTiming("slo."+rl.Path+".p50Seconds", rl.P50Seconds)
+				man.SetTiming("slo."+rl.Path+".p99Seconds", rl.P99Seconds)
+				man.SetTiming("slo."+rl.Path+".p999Seconds", rl.P999Seconds)
+			}
+		}
+	}
+}
+
+// fetchStatus reads /v1/status; a failure logs and returns nil rather
+// than aborting a finished benchmark run.
+func fetchStatus(logger *slog.Logger, baseURL string) *serve.StatusResponse {
+	resp, err := http.Get(baseURL + "/v1/status")
+	if err != nil {
+		logger.Error("fetching /v1/status", "err", err)
+		return nil
+	}
+	defer resp.Body.Close()
+	var sr serve.StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		logger.Error("decoding /v1/status", "err", err)
+		return nil
+	}
+	return &sr
 }

@@ -1,0 +1,115 @@
+// Command obsdiff compares two run manifests written by report, adaptd
+// or the bench harness (-manifest / REPRO_MANIFEST). The deterministic
+// sections must match exactly — the first differing field is named and
+// the command exits 1, which is how verify.sh proves that a cold and a
+// warm replay of the same configuration describe the same computation.
+// Timing sections are informational: shared keys are printed as a
+// before/after table, and wall-clock keys ("...Seconds") are summarised
+// as a benchdiff-style geometric-mean speedup.
+//
+// Usage:
+//
+//	obsdiff old.json new.json
+//	obsdiff -threshold 10 old.json new.json
+//
+// With -threshold PCT the command also exits 1 when the geomean
+// wall-clock speedup falls below 1-PCT/100 — a drop-in CI regression
+// gate in the spirit of scripts/benchdiff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0, "exit 1 when the geomean wall-clock speedup falls below 1-PCT/100 (0 disables)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: obsdiff [-threshold PCT] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	old, err := obs.LoadManifest(flag.Arg(0))
+	if err != nil {
+		die(err)
+	}
+	new, err := obs.LoadManifest(flag.Arg(1))
+	if err != nil {
+		die(err)
+	}
+
+	if field := obs.DiffDeterministic(old, new); field != "" {
+		fmt.Printf("DETERMINISTIC MISMATCH at %s\n", field)
+		fmt.Printf("  old: %s\n", renderField(old, field))
+		fmt.Printf("  new: %s\n", renderField(new, field))
+		os.Exit(1)
+	}
+	fmt.Printf("deterministic sections match (%d fields)\n", len(old.Deterministic))
+
+	deltas := obs.TimingDeltas(old, new)
+	if len(deltas) > 0 {
+		fmt.Printf("\n%-40s %14s %14s %9s\n", "timing", "old", "new", "delta")
+		for _, d := range deltas {
+			fmt.Printf("%-40s %14.6g %14.6g %+8.1f%%\n", d.Key, d.Old, d.New, pctChange(d.Old, d.New))
+		}
+	}
+	geomean := obs.TimingGeomeanSpeedup(deltas)
+	if geomean > 0 {
+		fmt.Printf("\ngeomean wall-clock speedup: %.3fx\n", geomean)
+	}
+
+	if *threshold > 0 && geomean > 0 {
+		floor := 1 - *threshold/100
+		if geomean < floor {
+			fmt.Printf("REGRESSION: geomean speedup %.3fx below threshold %.3fx\n", geomean, floor)
+			os.Exit(1)
+		}
+		fmt.Printf("within threshold (floor %.3fx)\n", floor)
+	}
+}
+
+// pctChange returns the relative change new vs old in percent, 0 when old
+// is zero.
+func pctChange(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}
+
+// renderField resolves a dotted path ("deterministic.scale.seed", "tool")
+// into the value it names, for the mismatch report. Best-effort: paths it
+// cannot walk (array indices, missing keys) render as "<absent>".
+func renderField(m *obs.Manifest, path string) string {
+	if path == "tool" {
+		return m.Tool
+	}
+	var cur any = map[string]any{"deterministic": m.Deterministic}
+	for rest := path; rest != ""; {
+		key, tail, _ := strings.Cut(rest, ".")
+		rest = tail
+		mp, ok := cur.(map[string]any)
+		if !ok {
+			return "<absent>"
+		}
+		cur, ok = mp[key]
+		if !ok {
+			return "<absent>"
+		}
+	}
+	return fmt.Sprintf("%v", cur)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "obsdiff:", err)
+	os.Exit(1)
+}

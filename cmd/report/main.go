@@ -7,14 +7,19 @@
 //	report [-scale test|default] [-programs mcf,swim,...] [-phases N]
 //	       [-interval N] [-uniform N] [-skip-slow] [-cache-dir DIR]
 //	       [-surrogate] [-surrogate-audit FRAC]
-//	       [-trace out.json] [-log-json] [-log-level info]
+//	       [-trace out.json] [-manifest out.json] [-span-summary]
+//	       [-log-json] [-log-level info]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Tables and figures go to stdout; logs (structured, via internal/obs) go
 // to stderr — including the result-store statistics, so two runs against
 // the same -cache-dir produce byte-identical stdout. With -trace the
 // run's span tree is written as Chrome trace_event JSON (open with
-// chrome://tracing or ui.perfetto.dev).
+// chrome://tracing or ui.perfetto.dev). With -manifest (auto-named
+// manifest-report.json under -cache-dir) the run writes a structured JSON
+// manifest whose deterministic section replays byte-identically — compare
+// two with cmd/obsdiff. -span-summary prints a per-stage self/total time
+// rollup of the span tree to stderr.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -30,6 +36,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/counters"
+	"repro/internal/cpu"
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/power"
@@ -50,6 +57,8 @@ func main() {
 		surAudit  = flag.Float64("surrogate-audit", 0, "override the surrogate audit fraction (0 keeps the default)")
 		cacheDir  = flag.String("cache-dir", "", "persistent result-store directory (reused across runs; empty disables)")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+		manifest  = flag.String("manifest", "", "write a run manifest (deterministic + timing sections) to this file; defaults to manifest-report.json under -cache-dir")
+		spanSum   = flag.Bool("span-summary", false, "print a per-stage span time rollup to stderr at exit")
 		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
@@ -93,8 +102,16 @@ func main() {
 		}
 	}
 
+	manifestPath := *manifest
+	if manifestPath == "" && *cacheDir != "" {
+		manifestPath = filepath.Join(*cacheDir, "manifest-report.json")
+	}
+
+	// The manifest and the span summary both need the span tree, so either
+	// flag enables the tracer — before the store opens, so the store.open
+	// span (argless by design: cold and warm trees must match) is captured.
 	tr := obs.DefaultTracer()
-	if *tracePath != "" {
+	if *tracePath != "" || manifestPath != "" || *spanSum {
 		tr.Enable()
 	}
 	writeTrace := func() {
@@ -322,6 +339,31 @@ func main() {
 			"storeHitRate", fmt.Sprintf("%.2f", rate),
 			"records", s.Records, "bytesRead", s.BytesRead, "bytesWritten", s.BytesWritten,
 			"dropped", s.Dropped, "compactions", s.Compactions)
+	}
+	if *spanSum {
+		fmt.Fprintln(os.Stderr, "span summary (self = own time, total = subtree, stage = first name token):")
+		tr.WriteRollup(os.Stderr)
+	}
+	if manifestPath != "" {
+		m := obs.NewManifest("report")
+		m.SetDet("flags.scale", *scaleName)
+		m.SetDet("flags.skipSlow", *skipSlow)
+		m.SetDet("flags.surrogate", *useSur)
+		m.SetDet("flags.surrogateAudit", *surAudit)
+		experiment.FillBuildManifest(m, ds)
+		tr.FillManifest(m)
+		elapsed := time.Since(start).Seconds()
+		m.SetTiming("totalSeconds", elapsed)
+		if insts := cpu.SimulatedInstructions(); insts > 0 {
+			m.SetTiming("nsPerInst", elapsed*1e9/float64(insts))
+		}
+		if st != nil {
+			st.Stats().FillManifest(m, elapsed)
+		}
+		if err := m.WriteFile(manifestPath); err != nil {
+			die(err)
+		}
+		logger.Info("manifest written", "path", manifestPath)
 	}
 	writeTrace()
 	stopProfiles()

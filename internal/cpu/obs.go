@@ -13,3 +13,9 @@ var (
 	obsCycles = obs.DefaultRegistry().Counter("repro_sim_cycles_total",
 		"Cycles simulated across all runs.")
 )
+
+// SimulatedInstructions returns the process-wide committed-instruction
+// total — the denominator of the ns/inst figure run manifests record in
+// their timing section. Telemetry only: nothing may feed it back into
+// simulation or search decisions.
+func SimulatedInstructions() uint64 { return obsInsts.Value() }

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// FillBuildManifest records a finished dataset build into a run manifest,
+// with the section split the manifest contract requires. Deterministic:
+// the resolved scale, the store schema version and the dataset digest —
+// everything a replay of the same configuration (cold or warm store, any
+// worker count, surrogate flag held fixed) reproduces byte-for-byte,
+// including the surrogate's selection statistics, which depend only on
+// the seed. Timing: the simulation/memoisation counters, which depend on
+// store warm state (a warm replay pays for fewer simulations — that is
+// the point) and so must never be diffed exactly.
+func FillBuildManifest(m *obs.Manifest, ds *Dataset) {
+	sc := ds.Scale
+	m.SetDet("scale.programs", strings.Join(sc.Programs, ","))
+	m.SetDet("scale.phasesPerProgram", sc.PhasesPerProgram)
+	m.SetDet("scale.intervalInsts", sc.IntervalInsts)
+	m.SetDet("scale.warmupInsts", sc.WarmupInsts)
+	m.SetDet("scale.uniformSamples", sc.UniformSamples)
+	m.SetDet("scale.localSamples", sc.LocalSamples)
+	m.SetDet("scale.sweepParams", len(sc.SweepParams))
+	m.SetDet("scale.goodThreshold", sc.GoodThreshold)
+	m.SetDet("scale.sampledSets", sc.SampledSets)
+	m.SetDet("scale.seed", sc.Seed)
+	m.SetDet("simVersion", store.SimVersion)
+	m.SetDet("datasetDigest", ds.Digest())
+	m.SetDet("phases", len(ds.Phases))
+	m.SetDet("sharedConfigs", len(ds.SharedConfigs))
+	m.SetDet("simCount", ds.SimCount())
+	m.SetDet("surrogate", ds.sur != nil)
+	if sum := ds.SurrogateSummary(); sum != nil {
+		m.SetDet("surrogate.pruned", sum.Pruned)
+		m.SetDet("surrogate.audited", sum.Audited)
+		m.SetDet("surrogate.observations", sum.Observations)
+		m.SetDet("surrogate.fits", sum.Fits)
+		m.SetDet("surrogate.rankCorr", sum.RankCorr)
+		m.SetDet("surrogate.regret", sum.Regret)
+		m.SetDet("surrogate.calibMAE", sum.CalibMAE)
+		m.SetTiming("surrogateExactSims", float64(sum.Exact))
+	}
+	hits, sims := MemoStats()
+	m.SetTiming("memoHits", float64(hits))
+	m.SetTiming("simulationsRun", float64(sims))
+	m.SetTiming("searchSims", float64(SearchSimCount()))
+}

@@ -4,8 +4,10 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"strconv"
 
 	"repro/internal/arch"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/surrogate"
 	"repro/internal/trace"
@@ -100,7 +102,12 @@ func (s *surrogateState) maybeFit() {
 	if m.Ready() && m.SinceFit() < s.cfg.Refit {
 		return
 	}
+	// Span args stay deterministic: the observation count is a pure
+	// function of the build's progress, never of timing or store state.
+	sp := obs.DefaultTracer().Start("surrogate.fit").
+		SetArg("observations", strconv.Itoa(m.Observations()))
 	_ = m.Fit()
+	sp.Finish()
 }
 
 // observe trains the model on one exact result, at most once per
@@ -182,11 +189,15 @@ func (ds *Dataset) surveyBatch(id PhaseID, cfgs []arch.Config) error {
 		for i, idx := range unknown {
 			cands[i] = cfgs[idx]
 		}
+		sp := obs.DefaultTracer().Start("surrogate.rank "+id.String()).
+			SetArg("candidates", strconv.Itoa(len(unknown)))
 		order, candScores := s.model.Rank(ph, cands)
 		k := s.cfg.ShortlistSize(len(unknown))
 		keep, rest := order[:k], order[k:]
 		a := s.cfg.AuditSize(len(rest))
 		audit := pickAudit(s.rng, rest, a)
+		sp.SetArg("shortlist", strconv.Itoa(k)).SetArg("audit", strconv.Itoa(a))
+		sp.Finish()
 		topk = make(map[arch.Config]bool, k)
 		for _, j := range keep {
 			topk[cands[j]] = true
@@ -305,6 +316,9 @@ func (ds *Dataset) searchPhaseSurrogate(id PhaseID, rng *rand.Rand) error {
 // get validated — a search decision — never the recorded score.
 func (ds *Dataset) computeBestStaticSurrogate() {
 	s := ds.sur
+	sp := obs.DefaultTracer().Start("surrogate.best-static").
+		SetArg("shared", strconv.Itoa(len(ds.SharedConfigs)))
+	defer sp.Finish()
 	s.maybeFit()
 	type scored struct {
 		idx   int
@@ -388,6 +402,8 @@ func (ds *Dataset) perProgramStaticSurrogate(program string) arch.Config {
 	}
 
 	if s.model.Ready() && len(unknown) > s.cfg.ShortlistSize(len(unknown)) {
+		sp := obs.DefaultTracer().Start("surrogate.shortlist "+program).
+			SetArg("candidates", strconv.Itoa(len(unknown)))
 		score := func(cfg arch.Config) float64 {
 			sum, n := 0.0, 0
 			for _, id := range phases {
@@ -432,6 +448,8 @@ func (ds *Dataset) perProgramStaticSurrogate(program string) arch.Config {
 		s.audited += uint64(a)
 		obsSurrogatePruned.Add(nPruned)
 		obsSurrogateAudited.Add(uint64(a))
+		sp.SetArg("shortlist", strconv.Itoa(k)).SetArg("audit", strconv.Itoa(a))
+		sp.Finish()
 	} else {
 		for _, i := range unknown {
 			evaluate[candidates[i]] = true

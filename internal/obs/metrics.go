@@ -82,6 +82,26 @@ type CounterVec struct {
 	children map[string]*Counter
 }
 
+// Each calls fn for every child in sorted label-value order with the
+// label values (in declaration order) and the current count — the
+// deterministic iteration both exposition paths and /v1/status use.
+func (v *CounterVec) Each(fn func(values []string, count uint64)) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	counts := make(map[string]uint64, len(keys))
+	for _, k := range keys {
+		counts[k] = v.children[k].Value()
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn(strings.Split(k, "\x00"), counts[k])
+	}
+}
+
 // With returns the child counter for the given label values (one per
 // declared label, in order).
 func (v *CounterVec) With(values ...string) *Counter {
@@ -287,9 +307,21 @@ func (r *Registry) Text() string {
 	return b.String()
 }
 
+// bucketJSON is one cumulative histogram bucket in the JSON snapshot. A
+// numerically ordered array replaced the old map[string]uint64 form: the
+// map marshalled with string-sorted keys, which put "1e-05" after
+// "0.0001" and silently dropped the +Inf bucket.
+type bucketJSON struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
 // JSON returns an expvar-style snapshot of every family: counters and
 // gauges as numbers, vecs as {"label=value,...": n} objects, histograms
-// as {count, sum, buckets} with cumulative bucket counts.
+// as {count, sum, buckets} with buckets an array of cumulative counts in
+// ascending bound order ending at +Inf. The bytes are deterministic for a
+// given metric state: families and vec children are sorted, buckets keep
+// registration order, and encoding/json sorts the map keys.
 func (r *Registry) JSON() ([]byte, error) {
 	out := map[string]any{}
 	for _, fam := range r.sorted() {
@@ -299,15 +331,13 @@ func (r *Registry) JSON() ([]byte, error) {
 		case fam.vec != nil:
 			v := fam.vec
 			m := map[string]uint64{}
-			v.mu.RLock()
-			for k, c := range v.children {
-				parts := strings.Split(k, "\x00")
-				for i := range parts {
-					parts[i] = v.labels[i] + "=" + parts[i]
+			v.Each(func(values []string, count uint64) {
+				parts := make([]string, len(values))
+				for i, val := range values {
+					parts[i] = v.labels[i] + "=" + val
 				}
-				m[strings.Join(parts, ",")] = c.Value()
-			}
-			v.mu.RUnlock()
+				m[strings.Join(parts, ",")] = count
+			})
 			out[fam.name] = m
 		case fam.gauge != nil:
 			out[fam.name] = fam.gauge.Value()
@@ -315,12 +345,14 @@ func (r *Registry) JSON() ([]byte, error) {
 			out[fam.name] = fam.gaugeFn()
 		case fam.hist != nil:
 			h := fam.hist
-			buckets := map[string]uint64{}
+			buckets := make([]bucketJSON, 0, len(h.bounds)+1)
 			var cum uint64
 			for i, ub := range h.bounds {
 				cum += h.counts[i].Load()
-				buckets[fmt.Sprintf("%g", ub)] = cum
+				buckets = append(buckets, bucketJSON{LE: fmt.Sprintf("%g", ub), Count: cum})
 			}
+			cum += h.counts[len(h.bounds)].Load()
+			buckets = append(buckets, bucketJSON{LE: "+Inf", Count: cum})
 			out[fam.name] = map[string]any{
 				"count":   h.Count(),
 				"sum":     h.Sum(),

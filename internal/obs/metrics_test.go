@@ -123,6 +123,46 @@ func TestJSONSnapshot(t *testing.T) {
 	}
 }
 
+// TestJSONGolden pins the full JSON exposition bytes: family ordering
+// (map keys sorted by encoding/json), vec children as flat label=value
+// keys, and histogram buckets as a numerically ordered cumulative array
+// ending at +Inf. The old map-of-buckets form string-sorted its keys
+// ("0.0001" before "1e-05") and omitted +Inf; this golden locks the
+// repaired shape and any map-iteration nondeterminism would flake it.
+func TestJSONGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_runs_total", "Runs.").Add(7)
+	r.Gauge("b_temperature", "Degrees.").Set(-2.5)
+	r.GaugeFunc("c_entries", "Entries.", func() float64 { return 3 })
+	v := r.CounterVec("d_requests_total", "Requests.", "path", "code")
+	v.With("/a", "200").Add(2)
+	v.With("/a", "404").Inc()
+	// Bucket bounds chosen so %g renders cross a string-sort boundary:
+	// numerically 1e-05 < 0.0001 but "0.0001" < "1e-05" as strings.
+	h := r.Histogram("e_latency_seconds", "Latency.", []float64{1e-5, 1e-4, 0.5})
+	for _, x := range []float64{1e-6, 2e-4, 0.25, 4} {
+		h.Observe(x)
+	}
+	want := `{"a_runs_total":7,"b_temperature":-2.5,"c_entries":3,` +
+		`"d_requests_total":{"path=/a,code=200":2,"path=/a,code=404":1},` +
+		`"e_latency_seconds":{"buckets":[{"le":"1e-05","count":1},{"le":"0.0001","count":1},` +
+		`{"le":"0.5","count":3},{"le":"+Inf","count":4}],"count":4,"sum":4.250201}}`
+	got, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Errorf("JSON snapshot mismatch:\n got %s\nwant %s", got, want)
+	}
+	got2, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != string(got) {
+		t.Error("JSON snapshot not stable across renders")
+	}
+}
+
 // TestConcurrentMetricUse hammers every metric kind from many goroutines
 // while rendering — exercised under -race by scripts/verify.sh.
 func TestConcurrentMetricUse(t *testing.T) {

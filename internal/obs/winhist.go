@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WindowedHistogram is a log-linear (HDR-style) latency histogram with a
+// sliding time window: each power-of-two range between Min and Max is
+// split into a fixed number of linear sub-buckets, so relative bucket
+// error is bounded by 1/sub across the whole range while the bucket index
+// is computed with exact float arithmetic (math.Frexp — no logarithms, no
+// platform-dependent rounding). Observations land in both an all-time
+// array and the current slot of a ring of sub-windows; quantiles are read
+// from the merged ring, so they describe roughly the last Window of
+// traffic rather than the process lifetime.
+//
+// Observes are lock-free (two atomic adds); ring rotation takes a mutex
+// but only once per Window/slots interval. Which sub-window an
+// observation lands in is wall-clock dependent — windowed quantiles are
+// timing telemetry and must never feed back into any decision or memoised
+// result (see CLAUDE.md). The bucket math itself is deterministic: the
+// same multiset of observations in one window always yields the same
+// quantiles.
+type WindowedHistogram struct {
+	min, max float64
+	sub      int // linear sub-buckets per power-of-two major
+	majors   int
+	nb       int // total buckets: underflow + majors*sub + overflow
+
+	window time.Duration // 0 disables rotation (all-time histogram)
+	step   int64         // rotation period in nanoseconds
+
+	mu      sync.Mutex
+	cur     atomic.Int64 // current ring slot
+	lastRot atomic.Int64 // monotonic ns of the last rotation
+	clock   func() int64 // monotonic nanoseconds; swappable in tests
+
+	slots [][]atomic.Uint64 // ring of per-sub-window bucket counts
+	total []atomic.Uint64   // all-time bucket counts
+}
+
+// NewWindowedHistogram builds a histogram covering [min, max] with sub
+// linear buckets per power-of-two and a sliding window of the given
+// duration split into slots sub-windows. min must be > 0 and < max; sub
+// and slots must be >= 1. window <= 0 disables rotation, making the
+// window the whole process lifetime.
+func NewWindowedHistogram(min, max float64, sub int, window time.Duration, slots int) *WindowedHistogram {
+	if min <= 0 || max <= min || sub < 1 || slots < 1 {
+		panic("obs: invalid WindowedHistogram shape")
+	}
+	majors := 0
+	for upper := min; upper < max; upper *= 2 {
+		majors++
+	}
+	h := &WindowedHistogram{
+		min:    min,
+		max:    max,
+		sub:    sub,
+		majors: majors,
+		nb:     1 + majors*sub + 1,
+		window: window,
+	}
+	if window > 0 {
+		h.step = int64(window) / int64(slots)
+		if h.step < 1 {
+			h.step = 1
+		}
+	} else {
+		slots = 1
+	}
+	h.slots = make([][]atomic.Uint64, slots)
+	for i := range h.slots {
+		h.slots[i] = make([]atomic.Uint64, h.nb)
+	}
+	h.total = make([]atomic.Uint64, h.nb)
+	start := time.Now()
+	h.clock = func() int64 { return int64(time.Since(start)) }
+	h.lastRot.Store(h.clock())
+	return h
+}
+
+// bucketIndex maps a value to its bucket with exact float arithmetic:
+// v/min = frac * 2^exp with frac in [0.5, 1) (math.Frexp), so the major
+// is exp-1 and the linear sub-bucket is floor((2*frac - 1) * sub). NaN
+// maps to -1 (ignored); -Inf and everything <= min land in the underflow
+// bucket, +Inf and everything >= max in the overflow bucket.
+func (h *WindowedHistogram) bucketIndex(v float64) int {
+	if math.IsNaN(v) {
+		return -1
+	}
+	if v <= h.min {
+		return 0
+	}
+	if v >= h.max {
+		return h.nb - 1
+	}
+	frac, exp := math.Frexp(v / h.min)
+	major := exp - 1
+	s := int(frac*2*float64(h.sub)) - h.sub
+	idx := 1 + major*h.sub + s
+	if idx >= h.nb-1 {
+		idx = h.nb - 1
+	}
+	// Upper bounds are inclusive (Prometheus le semantics): a value
+	// sitting exactly on a bucket edge belongs to the bucket below it.
+	if idx > 1 && h.upperBound(idx-1) == v {
+		idx--
+	}
+	return idx
+}
+
+// upperBound returns the inclusive upper edge of a bucket — the value
+// Quantile reports for ranks that land in it.
+func (h *WindowedHistogram) upperBound(idx int) float64 {
+	if idx <= 0 {
+		return h.min
+	}
+	if idx >= h.nb-1 {
+		return h.max
+	}
+	major := (idx - 1) / h.sub
+	s := (idx - 1) % h.sub
+	return h.min * math.Ldexp(1+float64(s+1)/float64(h.sub), major)
+}
+
+// Observe records one value. NaN observations are dropped; ±Inf clamp to
+// the edge buckets.
+func (h *WindowedHistogram) Observe(v float64) {
+	idx := h.bucketIndex(v)
+	if idx < 0 {
+		return
+	}
+	h.maybeRotate()
+	h.slots[h.cur.Load()][idx].Add(1)
+	h.total[idx].Add(1)
+}
+
+// maybeRotate advances the ring when the current sub-window has expired,
+// zeroing the slot being reused before publishing it.
+func (h *WindowedHistogram) maybeRotate() {
+	if h.step == 0 {
+		return
+	}
+	now := h.clock()
+	if now-h.lastRot.Load() < h.step {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now = h.clock()
+	steps := (now - h.lastRot.Load()) / h.step
+	if steps <= 0 {
+		return
+	}
+	if steps >= int64(len(h.slots)) {
+		// Quiet for longer than the whole window: everything is stale.
+		for _, s := range h.slots {
+			for i := range s {
+				s[i].Store(0)
+			}
+		}
+		h.lastRot.Store(now)
+		return
+	}
+	for ; steps > 0; steps-- {
+		next := (h.cur.Load() + 1) % int64(len(h.slots))
+		s := h.slots[next]
+		for i := range s {
+			s[i].Store(0)
+		}
+		h.cur.Store(next)
+		h.lastRot.Add(h.step)
+	}
+}
+
+// snapshot merges the ring into one bucket array.
+func (h *WindowedHistogram) snapshot() []uint64 {
+	h.maybeRotate()
+	out := make([]uint64, h.nb)
+	for _, s := range h.slots {
+		for i := range s {
+			out[i] += s[i].Load()
+		}
+	}
+	return out
+}
+
+// Count returns the number of observations in the current window.
+func (h *WindowedHistogram) Count() uint64 {
+	var n uint64
+	for _, c := range h.snapshot() {
+		n += c
+	}
+	return n
+}
+
+// TotalCount returns the all-time number of observations.
+func (h *WindowedHistogram) TotalCount() uint64 {
+	var n uint64
+	for i := range h.total {
+		n += h.total[i].Load()
+	}
+	return n
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the current window as
+// the upper edge of the bucket holding that rank — an exact function of
+// the windowed bucket counts, monotone in q. An empty window returns 0.
+func (h *WindowedHistogram) Quantile(q float64) float64 {
+	return quantileOf(h, h.snapshot(), q)
+}
+
+// quantileOf implements Quantile over an explicit bucket snapshot.
+func quantileOf(h *WindowedHistogram, counts []uint64, q float64) float64 {
+	var n uint64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return h.upperBound(i)
+		}
+	}
+	return h.max
+}
+
+// Quantiles returns several quantiles from one consistent snapshot, so a
+// p50/p99/p999 row can never be torn by concurrent observes.
+func (h *WindowedHistogram) Quantiles(qs ...float64) []float64 {
+	counts := h.snapshot()
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileOf(h, counts, q)
+	}
+	return out
+}

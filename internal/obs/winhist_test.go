@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestHist() *WindowedHistogram {
+	return NewWindowedHistogram(1e-6, 10, 16, time.Minute, 4)
+}
+
+// TestWindowedHistogramBucketMath asserts the exact log-linear layout:
+// indices are monotone in the value, bucket upper bounds bracket the
+// values that land in them, and boundary values land in the inclusive
+// bucket.
+func TestWindowedHistogramBucketMath(t *testing.T) {
+	h := newTestHist()
+	prev := -1
+	for _, v := range []float64{0, 1e-7, 1e-6, 1.5e-6, 2e-6, 1e-4, 0.003, 0.5, 9.99, 10, 11} {
+		idx := h.bucketIndex(v)
+		if idx < prev {
+			t.Errorf("bucketIndex not monotone: v=%g idx=%d after idx=%d", v, idx, prev)
+		}
+		prev = idx
+		if v > h.min && v < h.max {
+			ub := h.upperBound(idx)
+			if v > ub {
+				t.Errorf("v=%g above its bucket bound %g (idx %d)", v, ub, idx)
+			}
+			if idx > 0 && v <= h.upperBound(idx-1) {
+				t.Errorf("v=%g at or below previous bound %g (idx %d)", v, h.upperBound(idx-1), idx)
+			}
+		}
+	}
+	// Relative bucket width is bounded by 1/sub: upper/lower <= 1+1/sub
+	// for every finite bucket.
+	for idx := 2; idx < h.nb-1; idx++ {
+		lo, hi := h.upperBound(idx-1), h.upperBound(idx)
+		if ratio := hi / lo; ratio > 1+1.0/float64(h.sub)+1e-12 {
+			t.Errorf("bucket %d too wide: %g/%g = %g", idx, hi, lo, ratio)
+		}
+	}
+}
+
+// TestWindowedHistogramEdgeObservations covers the contract for odd
+// inputs: NaN is dropped, +Inf clamps to the overflow bucket, -Inf and
+// negatives clamp to the underflow bucket.
+func TestWindowedHistogramEdgeObservations(t *testing.T) {
+	h := newTestHist()
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Errorf("NaN was counted: count=%d", h.Count())
+	}
+	h.Observe(math.Inf(1))
+	if got := h.Quantile(1); got != h.max {
+		t.Errorf("+Inf quantile = %g, want clamp to max %g", got, h.max)
+	}
+	h.Observe(math.Inf(-1))
+	h.Observe(-3)
+	if got := h.Quantile(0); got != h.min {
+		t.Errorf("-Inf/negative quantile = %g, want clamp to min %g", got, h.min)
+	}
+	if h.Count() != 3 || h.TotalCount() != 3 {
+		t.Errorf("count=%d total=%d, want 3/3", h.Count(), h.TotalCount())
+	}
+}
+
+// TestWindowedHistogramEmptyWindow asserts quantiles of an empty window
+// are 0, including after rotation expires every observation.
+func TestWindowedHistogramEmptyWindow(t *testing.T) {
+	h := newTestHist()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	// Fill, then advance the fake clock past the whole window: the ring
+	// must be clean again while the all-time counts survive.
+	var now int64
+	h.clock = func() int64 { return now }
+	h.lastRot.Store(0)
+	h.Observe(0.001)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	now = int64(2 * time.Minute)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("expired window Quantile = %g, want 0", got)
+	}
+	if h.Count() != 0 || h.TotalCount() != 1 {
+		t.Errorf("after expiry count=%d total=%d, want 0/1", h.Count(), h.TotalCount())
+	}
+}
+
+// TestWindowedHistogramQuantileMonotone asserts Quantile is monotone
+// non-decreasing in q over a spread of observations.
+func TestWindowedHistogramQuantileMonotone(t *testing.T) {
+	h := newTestHist()
+	v := 1.1e-6
+	for i := 0; i < 500; i++ {
+		h.Observe(v)
+		v *= 1.03
+		if v > 9 {
+			v = 1.1e-6
+		}
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%g) = %g < previous %g", q, got, prev)
+		}
+		prev = got
+	}
+	qs := h.Quantiles(0.5, 0.99, 0.999)
+	if qs[0] > qs[1] || qs[1] > qs[2] {
+		t.Errorf("Quantiles snapshot not monotone: %v", qs)
+	}
+}
+
+// TestWindowedHistogramExactQuantiles checks the quantile values
+// themselves on a known multiset: ranks resolve to the upper bound of the
+// bucket holding them.
+func TestWindowedHistogramExactQuantiles(t *testing.T) {
+	h := newTestHist()
+	// 9 observations of 1ms, 1 observation of 1s.
+	for i := 0; i < 9; i++ {
+		h.Observe(0.001)
+	}
+	h.Observe(1.0)
+	p50, p90, p99 := h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+	if p50 != h.upperBound(h.bucketIndex(0.001)) {
+		t.Errorf("p50 = %g, want the 1ms bucket bound", p50)
+	}
+	if p90 != p50 {
+		t.Errorf("p90 = %g, want same bucket as p50 (rank 9 of 10)", p90)
+	}
+	if p99 != h.upperBound(h.bucketIndex(1.0)) {
+		t.Errorf("p99 = %g, want the 1s bucket bound", p99)
+	}
+	if p50 > 0.001*(1+1.0/16)+1e-15 || p50 < 0.001 {
+		t.Errorf("p50 = %g outside the 1ms bucket error bound", p50)
+	}
+}
+
+// TestWindowedHistogramConcurrent hammers Observe and the read side from
+// many goroutines — exercised under -race by scripts/verify.sh.
+func TestWindowedHistogramConcurrent(t *testing.T) {
+	h := NewWindowedHistogram(1e-6, 10, 16, 10*time.Millisecond, 4)
+	var wg sync.WaitGroup
+	const workers, per = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100+1) * 1e-5)
+				if i%200 == 0 {
+					_ = h.Quantile(0.99)
+					_ = h.Count()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.TotalCount(); got != workers*per {
+		t.Errorf("total count = %d, want %d", got, workers*per)
+	}
+}

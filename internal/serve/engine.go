@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sync"
 
@@ -20,6 +23,7 @@ type Engine struct {
 	quant     *core.QuantizedPredictor
 	quantized bool
 	dim       int
+	version   string
 }
 
 // NewEngine validates the predictor and wraps it for serving. When
@@ -36,8 +40,24 @@ func NewEngine(pred *core.Predictor, quantized bool) (*Engine, error) {
 	if quantized {
 		e.quant = pred.Quantize()
 	}
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		return nil, fmt.Errorf("serve: fingerprinting predictor: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	e.version = hex.EncodeToString(sum[:6])
+	if quantized {
+		e.version += "-q8"
+	}
 	return e, nil
 }
+
+// Version returns the model fingerprint: a short SHA-256 of the
+// predictor's serialised form (core.Predictor.Save is deterministic, so
+// the same weights always fingerprint identically), suffixed "-q8" when
+// decisions come from the 8-bit weights. /v1/status and /v1/designspace
+// report it so operators can tell which model answered.
+func (e *Engine) Version() string { return e.version }
 
 // Set returns the counter set the engine's features must come from.
 func (e *Engine) Set() counters.Set { return e.pred.Set }

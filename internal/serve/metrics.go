@@ -2,9 +2,28 @@ package serve
 
 import (
 	"strconv"
+	"time"
 
 	"repro/internal/obs"
 )
+
+// slo* shape the per-route windowed latency histograms behind /v1/status:
+// 1 microsecond to 10 seconds with 16 linear sub-buckets per power of two
+// (<= 6.25% relative quantile error), quantiles read over roughly the
+// last minute of traffic (4 rotating 15s sub-windows).
+const (
+	sloMinLatency = 1e-6
+	sloMaxLatency = 10.0
+	sloSubBuckets = 16
+	sloWindow     = time.Minute
+	sloSlots      = 4
+)
+
+// routePaths are the instrumented endpoints, in the order /v1/status
+// reports them.
+var routePaths = []string{
+	"/healthz", "/metrics", "/v1/designspace", "/v1/predict", "/v1/reload", "/v1/status",
+}
 
 // latencyBuckets are the upper bounds (seconds) of the predict-latency
 // histogram, Prometheus-style; an implicit +Inf bucket follows.
@@ -38,6 +57,12 @@ type metrics struct {
 	batchRequests *obs.Counter
 	batchItems    *obs.Counter
 	coalesced     *obs.Counter
+
+	// routeLat holds one windowed latency histogram per known route —
+	// built once at construction, so the request path reads a plain map
+	// with no locking. Unknown paths (the debug mux) are simply not
+	// windowed; they still count in the request vec.
+	routeLat map[string]*obs.WindowedHistogram
 }
 
 // newMetrics builds the server's registry; cacheLen is sampled at
@@ -62,7 +87,19 @@ func newMetrics(cacheLen func() int) *metrics {
 	reg.GaugeFunc("adaptd_cache_entries", "Current LRU cache entries.", func() float64 {
 		return float64(cacheLen())
 	})
+	m.routeLat = make(map[string]*obs.WindowedHistogram, len(routePaths))
+	for _, p := range routePaths {
+		m.routeLat[p] = obs.NewWindowedHistogram(sloMinLatency, sloMaxLatency, sloSubBuckets, sloWindow, sloSlots)
+	}
 	return m
+}
+
+// observeLatency records one request's wall-clock seconds against its
+// route's windowed histogram.
+func (m *metrics) observeLatency(path string, seconds float64) {
+	if h := m.routeLat[path]; h != nil {
+		h.Observe(seconds)
+	}
 }
 
 // observeRequest counts one completed request.

@@ -150,6 +150,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/predict", s.instrument("/v1/predict", s.handlePredict))
 	mux.HandleFunc("/v1/designspace", s.instrument("/v1/designspace", s.handleDesignSpace))
 	mux.HandleFunc("/v1/reload", s.instrument("/v1/reload", s.handleReload))
+	mux.HandleFunc("/v1/status", s.instrument("/v1/status", s.handleStatus))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	h := http.TimeoutHandler(mux, s.cfg.Timeout, "{\n  \"error\": \"request deadline exceeded\"\n}\n")
@@ -170,7 +171,8 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with per-(path, status) request counting and,
+// instrument wraps a handler with per-(path, status) request counting,
+// the route's windowed latency histogram (the /v1/status quantiles) and,
 // when a tracer is attached and enabled, a detached span per request.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -178,12 +180,14 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 		if s.cfg.Tracer != nil {
 			sp = s.cfg.Tracer.StartDetached("http " + path)
 		}
+		started := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		if sp != nil {
 			sp.SetArg("code", strconv.Itoa(sw.code)).Finish()
 		}
 		s.metrics.observeRequest(path, sw.code)
+		s.metrics.observeLatency(path, time.Since(started).Seconds())
 	}
 }
 
@@ -474,12 +478,25 @@ type CounterSetInfo struct {
 	Dim  int    `json:"dim"`
 }
 
-// ModelInfo describes the serving model.
+// ModelInfo describes the serving model. Version is the engine's
+// deterministic weight fingerprint (see Engine.Version).
 type ModelInfo struct {
 	Set       string `json:"set"`
 	Dim       int    `json:"dim"`
 	Weights   int    `json:"weights"`
 	Quantized bool   `json:"quantized"`
+	Version   string `json:"version"`
+}
+
+// modelInfo renders the one ModelInfo shape every endpoint shares.
+func modelInfo(eng *Engine) ModelInfo {
+	return ModelInfo{
+		Set:       eng.Set().String(),
+		Dim:       eng.Dim(),
+		Weights:   eng.WeightCount(),
+		Quantized: eng.Quantized(),
+		Version:   eng.Version(),
+	}
 }
 
 // handleDesignSpace serves Table I metadata plus the serving model shape.
@@ -494,12 +511,7 @@ func (s *Server) handleDesignSpace(w http.ResponseWriter, r *http.Request) {
 			{Name: counters.Basic.String(), Dim: counters.Dim(counters.Basic)},
 			{Name: counters.Advanced.String(), Dim: counters.Dim(counters.Advanced)},
 		},
-		Model: ModelInfo{
-			Set:       eng.Set().String(),
-			Dim:       eng.Dim(),
-			Weights:   eng.WeightCount(),
-			Quantized: eng.Quantized(),
-		},
+		Model: modelInfo(eng),
 	}
 	for p := arch.Param(0); p < arch.NumParams; p++ {
 		resp.Parameters = append(resp.Parameters, ParameterInfo{
@@ -545,12 +557,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	s.metrics.reloads.Inc()
 	writeJSON(w, http.StatusOK, ReloadResponse{
 		Reloaded: true,
-		Model: ModelInfo{
-			Set:       eng.Set().String(),
-			Dim:       eng.Dim(),
-			Weights:   eng.WeightCount(),
-			Quantized: eng.Quantized(),
-		},
+		Model:    modelInfo(eng),
 	})
 }
 
@@ -570,13 +577,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	eng := s.engine.Load()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status: "ok",
-		Model: ModelInfo{
-			Set:       eng.Set().String(),
-			Dim:       eng.Dim(),
-			Weights:   eng.WeightCount(),
-			Quantized: eng.Quantized(),
-		},
+		Status:        "ok",
+		Model:         modelInfo(eng),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		CacheEntries:  s.cache.len(),
 		CacheHitRate:  s.metrics.hitRate(),

@@ -89,6 +89,25 @@ type Stats struct {
 	Compactions  int    // compaction passes completed
 }
 
+// FillManifest records the stats into a run manifest's timing section.
+// Every field goes under timing — hit/miss counts are integers, but they
+// depend on how warm the store was, and cold and warm replays of the same
+// configuration must keep byte-identical deterministic sections.
+// elapsedSeconds > 0 adds a storeBytesPerSec throughput figure.
+func (s Stats) FillManifest(m *obs.Manifest, elapsedSeconds float64) {
+	m.SetTiming("storeHits", float64(s.Hits))
+	m.SetTiming("storeMisses", float64(s.Misses))
+	if s.Hits+s.Misses > 0 {
+		m.SetTiming("storeHitRate", float64(s.Hits)/float64(s.Hits+s.Misses))
+	}
+	m.SetTiming("storeRecords", float64(s.Records))
+	m.SetTiming("storeBytesRead", float64(s.BytesRead))
+	m.SetTiming("storeBytesWritten", float64(s.BytesWritten))
+	if elapsedSeconds > 0 {
+		m.SetTiming("storeBytesPerSec", float64(s.BytesRead+s.BytesWritten)/elapsedSeconds)
+	}
+}
+
 // Store is the on-disk result cache. All methods are safe for concurrent
 // use; the process-level single-writer guarantee comes from the lock
 // file, not from Go-side synchronisation.
@@ -121,14 +140,16 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("store: opening log: %w", err)
 	}
 	s := &Store{dir: dir, f: f, lock: lock, index: map[Key]recLoc{}}
+	// The span carries no args: record counts differ between cold and
+	// warm opens, and the span tree (and its manifest digest) must stay
+	// byte-identical across replays of the same configuration. Counts are
+	// available from Stats and the repro_store_* metrics instead.
 	sp := obs.DefaultTracer().Start("store.open")
 	defer sp.Finish()
 	if err := s.scan(); err != nil {
 		s.Close()
 		return nil, err
 	}
-	sp.SetArg("records", strconv.Itoa(len(s.index))).
-		SetArg("dropped", strconv.Itoa(s.stats.Dropped))
 	obsOpens.Inc()
 	// A dirty log (corruption survived, or keys rewritten) is rewritten
 	// clean now, while no readers depend on offsets.

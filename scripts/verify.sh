@@ -55,13 +55,15 @@ sur_off_out=$(mktemp /tmp/verify-suroff.XXXXXX)
 sur_off_err=$(mktemp /tmp/verify-surofferr.XXXXXX)
 sur_on_out=$(mktemp /tmp/verify-suron.XXXXXX)
 sur_on_err=$(mktemp /tmp/verify-suronerr.XXXXXX)
-trap 'rm -rf "$trace_out" "$cache_dir" "$cold_out" "$warm_out" "$warm_err" "$sur_off_out" "$sur_off_err" "$sur_on_out" "$sur_on_err"' EXIT
+cold_man=$(mktemp /tmp/verify-coldman.XXXXXX.json)
+warm_man=$(mktemp /tmp/verify-warmman.XXXXXX.json)
+trap 'rm -rf "$trace_out" "$cache_dir" "$cold_out" "$warm_out" "$warm_err" "$sur_off_out" "$sur_off_err" "$sur_on_out" "$sur_on_err" "$cold_man" "$warm_man"' EXIT
 go run ./cmd/report -scale test -skip-slow -trace "$trace_out" >"$sur_off_out" 2>"$sur_off_err"
 go run ./scripts/checktrace "$trace_out"
 
 echo "== report result-store cold/warm smoke =="
-go run ./cmd/report -scale test -skip-slow -cache-dir "$cache_dir" >"$cold_out" 2>/dev/null
-go run ./cmd/report -scale test -skip-slow -cache-dir "$cache_dir" >"$warm_out" 2>"$warm_err"
+go run ./cmd/report -scale test -skip-slow -cache-dir "$cache_dir" -manifest "$cold_man" >"$cold_out" 2>/dev/null
+go run ./cmd/report -scale test -skip-slow -cache-dir "$cache_dir" -manifest "$warm_man" >"$warm_out" 2>"$warm_err"
 if ! cmp -s "$cold_out" "$warm_out"; then
     echo "store smoke: cold and warm runs differ on stdout" >&2
     diff "$cold_out" "$warm_out" | head -20 >&2
@@ -77,6 +79,25 @@ if ! awk -v r="$warm_rate" 'BEGIN { exit !(r >= 0.90) }'; then
     exit 1
 fi
 echo "store smoke: warm run byte-identical, hit rate $warm_rate"
+
+echo "== run-manifest smoke =="
+# The cold and warm runs above each wrote a manifest. Their deterministic
+# sections (scale, seeds, dataset digest, span-tree digest, span counts)
+# must match exactly — obsdiff exits 1 naming the first differing field —
+# and the warm manifest's timing section must record the >=90% store hit
+# rate. obsdiff itself is a thin main over internal/obs, which the -race
+# gate above already covers.
+go run ./cmd/obsdiff "$cold_man" "$warm_man"
+man_rate=$(grep -o '"storeHitRate": [0-9.]*' "$warm_man" | grep -o '[0-9.]*$')
+if [ -z "$man_rate" ]; then
+    echo "manifest smoke: warm manifest has no storeHitRate" >&2
+    exit 1
+fi
+if ! awk -v r="$man_rate" 'BEGIN { exit !(r >= 0.90) }'; then
+    echo "manifest smoke: warm manifest storeHitRate $man_rate < 0.90" >&2
+    exit 1
+fi
+echo "manifest smoke: deterministic sections match, warm storeHitRate $man_rate"
 
 echo "== surrogate search smoke =="
 # The surrogate is an opt-in accelerator: with the flag off the report must
@@ -125,6 +146,24 @@ if [ -z "$batch_count" ] || [ "$batch_count" -eq 0 ]; then
     grep 'adaptd_batch' "$loadgen_out" >&2 || true
     exit 1
 fi
-echo "batch loadgen smoke: 512/512 ok, $batch_count batched kernel calls"
+# The final report now includes the /v1/status windowed latency SLOs;
+# /v1/predict just served the whole schedule, so its p50 and p99 must be
+# present and non-zero.
+slo_line=$(grep 'slo /v1/predict' "$loadgen_out" || true)
+if [ -z "$slo_line" ]; then
+    echo "batch loadgen smoke: no /v1/predict SLO line in the report" >&2
+    exit 1
+fi
+if ! echo "$slo_line" | awk '{
+    for (i = 1; i <= NF; i++) {
+        if ($i ~ /^p50=/) { p50 = substr($i, 5); sub(/s$/, "", p50) }
+        if ($i ~ /^p99=/) { p99 = substr($i, 5); sub(/s$/, "", p99) }
+    }
+    exit !(p50 + 0 > 0 && p99 + 0 > 0)
+}'; then
+    echo "batch loadgen smoke: /v1/predict p50/p99 missing or zero: $slo_line" >&2
+    exit 1
+fi
+echo "batch loadgen smoke: 512/512 ok, $batch_count batched kernel calls, ${slo_line# }"
 
 echo "verify: all gates passed"

@@ -249,7 +249,9 @@ func bootPredictor(ctx context.Context, logger *slog.Logger, path string, set co
 	if cacheDir != "" {
 		var err error
 		if st, err = store.Open(cacheDir); err != nil {
-			return nil, err
+			// ErrLocked already names the lock path and what to do about
+			// it; the flag context is all that's missing.
+			return nil, fmt.Errorf("opening -cache-dir: %w", err)
 		}
 		defer st.Close()
 		logger.Info("result store open", "dir", cacheDir, "records", st.Len())

@@ -99,7 +99,7 @@ func main() {
 		if *cacheDir != "" {
 			var err error
 			if st, err = store.Open(*cacheDir); err != nil {
-				die(err)
+				die(fmt.Errorf("opening -cache-dir: %w", err))
 			}
 			defer st.Close()
 			logger.Info("result store open", "dir", *cacheDir, "records", st.Len())

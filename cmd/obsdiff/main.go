@@ -56,10 +56,19 @@ func main() {
 	fmt.Printf("deterministic sections match (%d fields)\n", len(old.Deterministic))
 
 	deltas := obs.TimingDeltas(old, new)
-	if len(deltas) > 0 {
+	onlyOld, onlyNew := obs.TimingOnly(old, new)
+	if len(deltas)+len(onlyOld)+len(onlyNew) > 0 {
 		fmt.Printf("\n%-40s %14s %14s %9s\n", "timing", "old", "new", "delta")
 		for _, d := range deltas {
 			fmt.Printf("%-40s %14.6g %14.6g %+8.1f%%\n", d.Key, d.Old, d.New, pctChange(d.Old, d.New))
+		}
+		// One-sided keys (e.g. store composition counters a newer build
+		// records and an older one predates) are shown, never gated.
+		for _, k := range onlyOld {
+			fmt.Printf("%-40s %14.6g %14s\n", k, old.Timing[k], "-")
+		}
+		for _, k := range onlyNew {
+			fmt.Printf("%-40s %14s %14.6g\n", k, "-", new.Timing[k])
 		}
 	}
 	geomean := obs.TimingGeomeanSpeedup(deltas)

@@ -138,6 +138,27 @@ func (sc Scale) withDefaults() Scale {
 	return sc
 }
 
+// Resolved returns the scale with every defaulted field made explicit —
+// the exact configuration Build runs. Fabric shard specs fingerprint this
+// form, so a driver and a worker with nominally different zero values
+// still agree on what they are building.
+func (sc Scale) Resolved() Scale { return sc.withDefaults() }
+
+// PhaseIDs returns the build's phase list — programs in configured order,
+// phases in index order within each program, after defaulting. This is the
+// canonical order Build simulates in and the order fabric shard windows
+// index into.
+func (sc Scale) PhaseIDs() []PhaseID {
+	sc = sc.withDefaults()
+	out := make([]PhaseID, 0, len(sc.Programs)*sc.PhasesPerProgram)
+	for _, prog := range sc.Programs {
+		for ph := 0; ph < sc.PhasesPerProgram; ph++ {
+			out = append(out, PhaseID{prog, ph})
+		}
+	}
+	return out
+}
+
 // PhaseID identifies one program phase.
 type PhaseID struct {
 	Program string
@@ -205,9 +226,10 @@ type Dataset struct {
 type Option func(*buildOptions)
 
 type buildOptions struct {
-	store     *store.Store
-	workers   int
-	surrogate *surrogate.Config
+	store       *store.Store
+	workers     int
+	surrogate   *surrogate.Config
+	searchLimit int
 }
 
 // WithStore attaches a persistent result store to the build (nil is
@@ -231,6 +253,18 @@ func WithStore(st *store.Store) Option {
 // the right choice on a one-core machine.
 func WithWorkers(n int) Option {
 	return func(o *buildOptions) { o.workers = n }
+}
+
+// WithSearchLimit stops the build after the design-space search of the
+// first n phases (in PhaseIDs order) and skips every later stage —
+// best-static, good sets, profiling, features. The returned Dataset is
+// deliberately partial: fabric shard workers (internal/fabric) use it to
+// pay for exactly their phase window's simulations while the shared
+// prefix [0, lo) replays warm from a seeded store, keeping the rng stream
+// and every result byte-identical to the plain sequential build. Values
+// <= 0 (and the default) run the full build.
+func WithSearchLimit(n int) Option {
+	return func(o *buildOptions) { o.searchLimit = n }
 }
 
 // Build runs the full data-gathering pipeline at the given scale: the
@@ -272,36 +306,29 @@ func Build(ctx context.Context, sc Scale, opts ...Option) (*Dataset, error) {
 		SetArg("phases-per-program", strconv.Itoa(sc.PhasesPerProgram))
 	defer root.Finish()
 
-	// Phase list and traces.
+	// Phase list and traces. A search limit (fabric shard worker) keeps
+	// only the prefix — phases past the limit are never touched.
+	phaseIDs := sc.PhaseIDs()
+	limit := len(phaseIDs)
+	partial := bo.searchLimit > 0
+	if partial && bo.searchLimit < limit {
+		limit = bo.searchLimit
+	}
 	sp := tr.Start("tracegen")
-	for _, prog := range sc.Programs {
-		for ph := 0; ph < sc.PhasesPerProgram; ph++ {
-			id := PhaseID{prog, ph}
-			g, err := trace.NewGenerator(prog, ph)
-			if err != nil {
-				sp.Finish()
-				return nil, err
-			}
-			ds.traces[id] = g.Interval(sc.IntervalInsts)
-			ds.Phases = append(ds.Phases, id)
+	for _, id := range phaseIDs[:limit] {
+		g, err := trace.NewGenerator(id.Program, id.Phase)
+		if err != nil {
+			sp.Finish()
+			return nil, err
 		}
+		ds.traces[id] = g.Interval(sc.IntervalInsts)
+		ds.Phases = append(ds.Phases, id)
 	}
 	sp.Finish()
 
-	// Stage 1: shared uniform sample (always includes the paper's
-	// published baseline so comparisons have a common anchor).
-	rng := rand.New(rand.NewPCG(sc.Seed, 0x5ca1ab1e))
-	seen := map[arch.Config]bool{}
-	add := func(c arch.Config) {
-		if !seen[c] {
-			seen[c] = true
-			ds.SharedConfigs = append(ds.SharedConfigs, c)
-		}
-	}
-	add(arch.Baseline())
-	for len(ds.SharedConfigs) < sc.UniformSamples {
-		add(arch.Random(rng))
-	}
+	// Stage 1: shared uniform sample.
+	var rng *rand.Rand
+	ds.SharedConfigs, rng = sharedSample(sc)
 
 	// Simulate shared configs on every phase; refine per phase.
 	ds.inSearch = true
@@ -322,6 +349,12 @@ func Build(ctx context.Context, sc Scale, opts ...Option) (*Dataset, error) {
 	}
 	sp.Finish()
 	ds.inSearch = false
+
+	// A limited build stops here: everything downstream of the search is
+	// the final (merged-store) build's job.
+	if partial {
+		return ds, nil
+	}
 
 	sp = tr.Start("best-static")
 	ds.computeBestStatic()
@@ -387,6 +420,39 @@ func Build(ctx context.Context, sc Scale, opts ...Option) (*Dataset, error) {
 	}
 	sp.Finish()
 	return ds, nil
+}
+
+// sharedSample draws the stage-1 shared uniform candidate pool (always
+// anchored on the paper's published baseline so comparisons have a common
+// anchor) and returns the rng advanced exactly past those draws. The
+// per-phase search stages continue on the same stream — the pool and the
+// stream position are one deterministic unit, which is what lets a fabric
+// shard worker replay the search prefix bit-for-bit before paying for its
+// own window.
+func sharedSample(sc Scale) ([]arch.Config, *rand.Rand) {
+	rng := rand.New(rand.NewPCG(sc.Seed, 0x5ca1ab1e))
+	seen := map[arch.Config]bool{}
+	var shared []arch.Config
+	add := func(c arch.Config) {
+		if !seen[c] {
+			seen[c] = true
+			shared = append(shared, c)
+		}
+	}
+	add(arch.Baseline())
+	for len(shared) < sc.UniformSamples {
+		add(arch.Random(rng))
+	}
+	return shared, rng
+}
+
+// SharedSample returns the stage-1 shared uniform sample a build at sc
+// evaluates on every phase — the deterministically known-upfront slice of
+// the search's work units, exposed for the fabric work partitioner and for
+// tests.
+func SharedSample(sc Scale) []arch.Config {
+	shared, _ := sharedSample(sc.withDefaults())
+	return shared
 }
 
 // entry is one memoised simulation result, tagged by whether it belongs to

@@ -1,0 +1,16 @@
+package fabric
+
+import "repro/internal/obs"
+
+// Process-wide fabric series (obs.DefaultRegistry). Write-only telemetry:
+// nothing in the fabric protocol reads these back, and none of them may
+// influence partitioning or merging — shard specs are pure functions of
+// (Scale, n) and merges are pure functions of their inputs.
+var (
+	obsShards = obs.DefaultRegistry().Counter("repro_fabric_shards_total",
+		"Fabric shard builds executed.")
+	obsShardSearchSims = obs.DefaultRegistry().Counter("repro_fabric_shard_search_sims_total",
+		"Fresh search simulations paid across fabric shard builds.")
+	obsDrives = obs.DefaultRegistry().Counter("repro_fabric_drives_total",
+		"Fabric driver runs (shards + merge) completed.")
+)

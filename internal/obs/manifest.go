@@ -189,6 +189,26 @@ func TimingDeltas(old, new *Manifest) []TimingDelta {
 	return out
 }
 
+// TimingOnly returns the timing keys present in exactly one of the two
+// manifests, each list sorted. New counters (store composition, fabric
+// stats) surface here when diffing against a manifest from an older
+// build, instead of silently vanishing from the shared-key table.
+func TimingOnly(old, new *Manifest) (onlyOld, onlyNew []string) {
+	for k := range old.Timing {
+		if _, ok := new.Timing[k]; !ok {
+			onlyOld = append(onlyOld, k)
+		}
+	}
+	for k := range new.Timing {
+		if _, ok := old.Timing[k]; !ok {
+			onlyNew = append(onlyNew, k)
+		}
+	}
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return onlyOld, onlyNew
+}
+
 // TimingGeomeanSpeedup returns the geometric mean of old/new over the
 // wall-clock deltas (keys with a "Seconds" suffix where both sides are
 // positive) — the headline a -threshold regression gate judges, in the

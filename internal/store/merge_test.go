@@ -1,0 +1,380 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildDir creates a store directory holding the records keys[i] ->
+// fakeResult(vals[i]) in order, via the normal Put path.
+func buildDir(t *testing.T, keys []int, vals []int) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if err := s.Put(fakeKey(k), fakeResult(vals[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestMergeUnionsDisjointStores(t *testing.T) {
+	a := buildDir(t, []int{0, 1, 2}, []int{0, 1, 2})
+	b := buildDir(t, []int{3, 4}, []int{3, 4})
+	dst := t.TempDir()
+	ms, err := Merge(dst, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Sources != 2 || ms.Records != 5 || ms.Added != 5 || ms.Dedup != 0 {
+		t.Fatalf("stats = %+v, want 2 sources, 5 records, 5 added, 0 dedup", ms)
+	}
+	s, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 5 {
+		t.Fatalf("merged store has %d records, want 5", s.Len())
+	}
+	for i := 0; i < 5; i++ {
+		res, ok := s.Get(fakeKey(i))
+		if !ok {
+			t.Fatalf("key %d missing after merge", i)
+		}
+		if res.Cycles != uint64(1000+i) {
+			t.Fatalf("key %d: cycles = %d, want %d", i, res.Cycles, 1000+i)
+		}
+	}
+}
+
+func TestMergeDedupesIdenticalDuplicates(t *testing.T) {
+	a := buildDir(t, []int{0, 1}, []int{0, 1})
+	b := buildDir(t, []int{1, 2}, []int{1, 2}) // key 1 identical in both
+	dst := t.TempDir()
+	ms, err := Merge(dst, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Records != 3 || ms.Dedup != 1 {
+		t.Fatalf("stats = %+v, want 3 records with 1 dedup", ms)
+	}
+}
+
+func TestMergeRefusesDivergentDuplicate(t *testing.T) {
+	a := buildDir(t, []int{0, 1}, []int{0, 1})
+	b := buildDir(t, []int{1}, []int{99}) // key 1, different result bytes
+	dst := t.TempDir()
+	_, err := Merge(dst, a, b)
+	if err == nil {
+		t.Fatal("merge of divergent duplicates succeeded, want hard error")
+	}
+	if !strings.Contains(err.Error(), "merge conflict on key") {
+		t.Fatalf("error %q does not name the conflict", err)
+	}
+	// The error must name the offending key (hex prefix).
+	k := fakeKey(1)
+	wantHex := ""
+	for _, b := range k[:8] {
+		const hexdigits = "0123456789abcdef"
+		wantHex += string(hexdigits[b>>4]) + string(hexdigits[b&0xf])
+	}
+	if !strings.Contains(err.Error(), wantHex) {
+		t.Fatalf("error %q does not contain key hex %s", err, wantHex)
+	}
+	// The destination must not have been written.
+	if _, err := os.Stat(HeadLog(dst)); !os.IsNotExist(err) {
+		t.Fatalf("destination log exists after refused merge (stat err %v)", err)
+	}
+}
+
+func TestMergeRejectsSimVersionMismatch(t *testing.T) {
+	a := buildDir(t, []int{0}, []int{0})
+	if err := os.WriteFile(filepath.Join(a, simVersionFileName), []byte("999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Merge(t.TempDir(), a)
+	if err == nil || !strings.Contains(err.Error(), "simversion 999") {
+		t.Fatalf("merge of mismatched simversion: err = %v, want stamp mismatch", err)
+	}
+
+	b := buildDir(t, []int{1}, []int{1})
+	if err := os.Remove(filepath.Join(b, simVersionFileName)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Merge(t.TempDir(), b)
+	if err == nil || !strings.Contains(err.Error(), "no simversion stamp") {
+		t.Fatalf("merge of unstamped store: err = %v, want missing-stamp error", err)
+	}
+}
+
+func TestMergeRecoversCorruptSource(t *testing.T) {
+	a := buildDir(t, []int{0, 1, 2}, []int{0, 1, 2})
+	path := HeadLog(a)
+	recs := recordOffsets(t, path)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside record 1's value, then append a torn tail.
+	flipAt := recs[1][0] + recHeaderSize + keySize + 4
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, flipAt); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xff
+	if _, err := f.WriteAt(buf, flipAt); err != nil {
+		t.Fatal(err)
+	}
+	end, _ := f.Seek(0, 2)
+	if _, err := f.WriteAt([]byte{1, 2, 3}, end); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	dst := t.TempDir()
+	ms, err := Merge(dst, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Records != 2 || ms.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 2 records with 1 dropped (the flipped byte; the torn tail never framed a record)", ms)
+	}
+	s, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok := s.Get(fakeKey(1)); ok {
+		t.Fatal("corrupted record survived the merge")
+	}
+	for _, i := range []int{0, 2} {
+		if _, ok := s.Get(fakeKey(i)); !ok {
+			t.Fatalf("intact record %d lost in the merge", i)
+		}
+	}
+}
+
+// TestMergeDeterministicAnyOrder pins the satellite-6 guarantee: the
+// merged log is byte-identical for any source order (keys are written
+// sorted, never in map-iteration or argument order).
+func TestMergeDeterministicAnyOrder(t *testing.T) {
+	a := buildDir(t, []int{0, 1, 2, 3}, []int{0, 1, 2, 3})
+	b := buildDir(t, []int{2, 3, 4}, []int{2, 3, 4}) // overlaps a
+	c := buildDir(t, []int{5, 6}, []int{5, 6})
+	orders := [][]string{{a, b, c}, {c, b, a}, {b, c, a}}
+	var logs [][]byte
+	for _, order := range orders {
+		dst := t.TempDir()
+		if _, err := Merge(dst, order...); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(HeadLog(dst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs = append(logs, data)
+	}
+	for i := 1; i < len(logs); i++ {
+		if !bytes.Equal(logs[0], logs[i]) {
+			t.Fatalf("merge order %v produced different bytes than %v", orders[i], orders[0])
+		}
+	}
+}
+
+func TestMergeIntoExistingStore(t *testing.T) {
+	dst := buildDir(t, []int{0, 1}, []int{0, 1})
+	src := buildDir(t, []int{1, 2}, []int{1, 2})
+	ms, err := Merge(dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Records != 3 || ms.Added != 1 || ms.Dedup != 1 {
+		t.Fatalf("stats = %+v, want 3 records, 1 added, 1 dedup", ms)
+	}
+	s, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 3 {
+		t.Fatalf("merged store has %d records, want 3", s.Len())
+	}
+}
+
+func TestAdoptSegmentAndOpen(t *testing.T) {
+	src := buildDir(t, []int{0, 1, 2}, []int{0, 1, 2})
+	dir := t.TempDir()
+	name, err := AdoptSegment(dir, HeadLog(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(name, "segment-") || !strings.HasSuffix(name, ".log") {
+		t.Fatalf("segment name %q not of the segment-*.log form", name)
+	}
+	// Idempotent: adopting the same log lands on the same file.
+	name2, err := AdoptSegment(dir, HeadLog(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name2 != name {
+		t.Fatalf("re-adopt produced %q, want %q", name2, name)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, segmentGlob))
+	if len(segs) != 1 {
+		t.Fatalf("%d segment files after double adopt, want 1", len(segs))
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Segments != 1 || st.MergedRecords != 3 || s.Len() != 3 {
+		t.Fatalf("open stats = %+v len=%d, want 1 segment serving 3 records", st, s.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Get(fakeKey(i)); !ok {
+			t.Fatalf("adopted record %d unreadable", i)
+		}
+	}
+	// New appends go to the head and shadow nothing; compaction folds
+	// the segment into the head and deletes it.
+	if err := s.Put(fakeKey(3), fakeResult(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ = filepath.Glob(filepath.Join(dir, segmentGlob))
+	if len(segs) != 0 {
+		t.Fatalf("%d segment files survived compaction, want 0", len(segs))
+	}
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 4 || s.Stats().Segments != 0 {
+		t.Fatalf("after compaction: len=%d segments=%d, want 4 and 0", s.Len(), s.Stats().Segments)
+	}
+}
+
+func TestCheckDirFlagsCorruption(t *testing.T) {
+	dir := buildDir(t, []int{0, 1, 2}, []int{0, 1, 2})
+	c, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Ok() || c.Live != 3 {
+		t.Fatalf("clean store: faults=%v live=%d, want none and 3", c.Faults, c.Live)
+	}
+
+	// Flip one byte inside a record payload: exactly one fault.
+	path := HeadLog(dir)
+	recs := recordOffsets(t, path)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipAt := recs[1][0] + recHeaderSize + keySize + 4
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, flipAt); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xff
+	if _, err := f.WriteAt(buf, flipAt); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	c, err = CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ok() || c.Dropped != 1 || c.Live != 2 {
+		t.Fatalf("corrupt store: ok=%v dropped=%d live=%d, want a fault, 1 dropped, 2 live", c.Ok(), c.Dropped, c.Live)
+	}
+	if !strings.Contains(strings.Join(c.Faults, "\n"), "CRC mismatch") {
+		t.Fatalf("faults %v do not name the CRC mismatch", c.Faults)
+	}
+
+	// A stamp mismatch is a fault too.
+	dir2 := buildDir(t, []int{0}, []int{0})
+	if err := os.WriteFile(filepath.Join(dir2, simVersionFileName), []byte("999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err = CheckDir(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ok() || !strings.Contains(strings.Join(c.Faults, "\n"), "simversion 999") {
+		t.Fatalf("stamp mismatch not flagged: faults=%v", c.Faults)
+	}
+}
+
+// TestOpenStampsSimVersion checks Open writes (and refreshes) the sidecar.
+func TestOpenStampsSimVersion(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	v, ok := readSimVersion(dir)
+	if !ok || v != SimVersion {
+		t.Fatalf("stamp after open = (%d, %v), want (%d, true)", v, ok, SimVersion)
+	}
+}
+
+// TestMergedStoreIndistinguishable pins the CLAUDE.md merge contract at
+// the record level: a store assembled by Merge serves byte-identical
+// values to one that wrote the same records sequentially, and its head
+// log equals a sequential store's compacted log written in the same key
+// order.
+func TestMergedStoreIndistinguishable(t *testing.T) {
+	a := buildDir(t, []int{0, 1}, []int{0, 1})
+	b := buildDir(t, []int{2, 3}, []int{2, 3})
+	dst := t.TempDir()
+	if _, err := Merge(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	seq := buildDir(t, []int{0, 1, 2, 3}, []int{0, 1, 2, 3})
+
+	ms, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	ss, err := Open(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	for i := 0; i < 4; i++ {
+		mr, ok1 := ms.Get(fakeKey(i))
+		sr, ok2 := ss.Get(fakeKey(i))
+		if !ok1 || !ok2 {
+			t.Fatalf("key %d: merged hit=%v sequential hit=%v", i, ok1, ok2)
+		}
+		me, se := encodeResult(mr), encodeResult(sr)
+		if !bytes.Equal(me, se) {
+			t.Fatalf("key %d: merged and sequential values differ", i)
+		}
+	}
+}

@@ -21,6 +21,12 @@ var (
 		"Corrupt, truncated or undecodable store records dropped.")
 	obsOpens = obs.DefaultRegistry().Counter("repro_store_opens_total",
 		"Store directories opened.")
+	obsMerges = obs.DefaultRegistry().Counter("repro_store_merges_total",
+		"Store merge operations completed.")
+	obsMergeRecords = obs.DefaultRegistry().Counter("repro_store_merge_records_total",
+		"Live records written by store merges.")
+	obsSegmentsAdopted = obs.DefaultRegistry().Counter("repro_store_segments_adopted_total",
+		"Sealed segments adopted into store directories.")
 )
 
 // ProcessStats returns the process-lifetime store counters (all stores

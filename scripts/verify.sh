@@ -57,7 +57,15 @@ sur_on_out=$(mktemp /tmp/verify-suron.XXXXXX)
 sur_on_err=$(mktemp /tmp/verify-suronerr.XXXXXX)
 cold_man=$(mktemp /tmp/verify-coldman.XXXXXX.json)
 warm_man=$(mktemp /tmp/verify-warmman.XXXXXX.json)
-trap 'rm -rf "$trace_out" "$cache_dir" "$cold_out" "$warm_out" "$warm_err" "$sur_off_out" "$sur_off_err" "$sur_on_out" "$sur_on_err" "$cold_man" "$warm_man"' EXIT
+fab_dir=$(mktemp -d /tmp/verify-fabric.XXXXXX)
+fab_out=$(mktemp /tmp/verify-fabout.XXXXXX)
+fab_err=$(mktemp /tmp/verify-faberr.XXXXXX)
+merged_dir=$(mktemp -d /tmp/verify-merged.XXXXXX)
+replay_out=$(mktemp /tmp/verify-replay.XXXXXX)
+replay_err=$(mktemp /tmp/verify-replayerr.XXXXXX)
+replay_man=$(mktemp /tmp/verify-replayman.XXXXXX.json)
+bad_dir=$(mktemp -d /tmp/verify-badstore.XXXXXX)
+trap 'rm -rf "$trace_out" "$cache_dir" "$cold_out" "$warm_out" "$warm_err" "$sur_off_out" "$sur_off_err" "$sur_on_out" "$sur_on_err" "$cold_man" "$warm_man" "$fab_dir" "$fab_out" "$fab_err" "$merged_dir" "$replay_out" "$replay_err" "$replay_man" "$bad_dir"' EXIT
 go run ./cmd/report -scale test -skip-slow -trace "$trace_out" >"$sur_off_out" 2>"$sur_off_err"
 go run ./scripts/checktrace "$trace_out"
 
@@ -125,13 +133,101 @@ if ! grep -q 'surrogate summary' "$sur_on_err"; then
 fi
 echo "surrogate smoke: search sims $off_sims -> $on_sims"
 
+echo "== fabric sharded-build smoke =="
+# A 2-shard fabric build (shard, merge, warm final build) must reproduce
+# the plain sequential run exactly: byte-identical stdout, and the fleet
+# paying in total exactly the sequential build's search simulations (the
+# last searchSims= line is the process total: shard sims + a warm final
+# build paying zero). See README "Distributed builds".
+go run ./cmd/report -scale test -skip-slow -fabric 2 -cache-dir "$fab_dir" >"$fab_out" 2>"$fab_err"
+if ! cmp -s "$fab_out" "$cold_out"; then
+    echo "fabric smoke: -fabric 2 stdout differs from the sequential run" >&2
+    diff "$fab_out" "$cold_out" | head -20 >&2
+    exit 1
+fi
+fab_sims=$(grep -o ' searchSims=[0-9]*' "$fab_err" | tail -1 | cut -d= -f2)
+if [ -z "$fab_sims" ] || [ "$fab_sims" -ne "$off_sims" ]; then
+    echo "fabric smoke: fabric run paid $fab_sims search sims, sequential paid $off_sims" >&2
+    exit 1
+fi
+# Merge the driver's registry and every shard's private store into one
+# canonical directory: every overlap must dedupe, nothing may diverge.
+go run ./cmd/storectl merge "$merged_dir" "$fab_dir" "$fab_dir"/fabric/shard-*
+go run ./cmd/storectl verify "$merged_dir"
+go run ./cmd/storectl stats "$merged_dir"
+# The plain pipeline replayed from the merged registry must be
+# byte-identical to the cold sequential run — stdout, manifest
+# deterministic section, zero fresh search sims, >=90% store hit rate.
+go run ./cmd/report -scale test -skip-slow -cache-dir "$merged_dir" -manifest "$replay_man" >"$replay_out" 2>"$replay_err"
+if ! cmp -s "$replay_out" "$cold_out"; then
+    echo "fabric smoke: replay from the merged store differs from the sequential run" >&2
+    diff "$replay_out" "$cold_out" | head -20 >&2
+    exit 1
+fi
+go run ./cmd/obsdiff "$cold_man" "$replay_man"
+replay_sims=$(grep -o ' searchSims=[0-9]*' "$replay_err" | tail -1 | cut -d= -f2)
+if [ -z "$replay_sims" ] || [ "$replay_sims" -ne 0 ]; then
+    echo "fabric smoke: replay from the merged store paid $replay_sims fresh search sims, want 0" >&2
+    exit 1
+fi
+replay_rate=$(grep -o '"storeHitRate": [0-9.]*' "$replay_man" | grep -o '[0-9.]*$')
+if [ -z "$replay_rate" ] || ! awk -v r="$replay_rate" 'BEGIN { exit !(r >= 0.90) }'; then
+    echo "fabric smoke: merged-store replay hit rate '$replay_rate' < 0.90" >&2
+    exit 1
+fi
+# Other shard counts must reproduce the same run too. Seed each from the
+# merged registry (storectl merge into a fresh dir), so the gate also
+# proves store hits are indistinguishable from fresh simulations through
+# the whole fabric path: every shard replays warm, zero sims are paid,
+# and stdout still matches.
+for n in 1 4; do
+    n_dir=$(mktemp -d /tmp/verify-fab$n.XXXXXX)
+    n_out=$(mktemp /tmp/verify-fab${n}out.XXXXXX)
+    n_err=$(mktemp /tmp/verify-fab${n}err.XXXXXX)
+    go run ./cmd/storectl merge "$n_dir" "$merged_dir" >/dev/null
+    go run ./cmd/report -scale test -skip-slow -fabric $n -cache-dir "$n_dir" >"$n_out" 2>"$n_err"
+    if ! cmp -s "$n_out" "$cold_out"; then
+        echo "fabric smoke: -fabric $n stdout differs from the sequential run" >&2
+        diff "$n_out" "$cold_out" | head -20 >&2
+        rm -rf "$n_dir" "$n_out" "$n_err"
+        exit 1
+    fi
+    n_sims=$(grep -o ' searchSims=[0-9]*' "$n_err" | tail -1 | cut -d= -f2)
+    rm -rf "$n_dir" "$n_out" "$n_err"
+    if [ -z "$n_sims" ] || [ "$n_sims" -ne 0 ]; then
+        echo "fabric smoke: warm -fabric $n run paid $n_sims search sims, want 0" >&2
+        exit 1
+    fi
+done
+# storectl verify must catch a flipped byte (CRC) with a non-zero exit.
+cp "$merged_dir/results.log" "$merged_dir/simversion" "$bad_dir/"
+orig_byte=$(od -An -tu1 -j24 -N1 "$bad_dir/results.log" | tr -d ' ')
+printf "$(printf '\\%03o' $((orig_byte ^ 255)))" \
+    | dd of="$bad_dir/results.log" bs=1 seek=24 count=1 conv=notrunc 2>/dev/null
+if go run ./cmd/storectl verify "$bad_dir" >/dev/null 2>&1; then
+    echo "fabric smoke: storectl verify missed a flipped byte" >&2
+    exit 1
+fi
+# ... and a SimVersion mismatch, which merge must also refuse.
+cp "$merged_dir/results.log" "$bad_dir/"
+echo 999 >"$bad_dir/simversion"
+if go run ./cmd/storectl verify "$bad_dir" >/dev/null 2>&1; then
+    echo "fabric smoke: storectl verify missed a simversion mismatch" >&2
+    exit 1
+fi
+if go run ./cmd/storectl merge "$merged_dir" "$bad_dir" >/dev/null 2>&1; then
+    echo "fabric smoke: storectl merge accepted a simversion mismatch" >&2
+    exit 1
+fi
+echo "fabric smoke: shards 1/2/4 byte-identical, merge verified, corruption and version skew caught"
+
 echo "== adaptd batch loadgen smoke =="
 # Boot the daemon against the warm result store (training replays from
 # disk), fire the deterministic load generator in batch mode, and require a
 # clean report plus a populated batch-size histogram in the metrics dump.
 model_dir=$(mktemp -d /tmp/verify-adaptd.XXXXXX)
 loadgen_out=$(mktemp /tmp/verify-loadgen.XXXXXX)
-trap 'rm -rf "$trace_out" "$cache_dir" "$cold_out" "$warm_out" "$warm_err" "$sur_off_out" "$sur_off_err" "$sur_on_out" "$sur_on_err" "$model_dir" "$loadgen_out"' EXIT
+trap 'rm -rf "$trace_out" "$cache_dir" "$cold_out" "$warm_out" "$warm_err" "$sur_off_out" "$sur_off_err" "$sur_on_out" "$sur_on_err" "$cold_man" "$warm_man" "$fab_dir" "$fab_out" "$fab_err" "$merged_dir" "$replay_out" "$replay_err" "$replay_man" "$bad_dir" "$model_dir" "$loadgen_out"' EXIT
 go run ./cmd/adaptd -model "$model_dir/adaptd.model" -counter-set basic \
     -train-scale test -cache-dir "$cache_dir" \
     -loadgen -loadgen-requests 512 -batch 64 >"$loadgen_out" 2>/dev/null

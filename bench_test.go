@@ -660,7 +660,7 @@ func BenchmarkServe_PredictThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv := serve.New(eng, serve.Config{CacheSize: 1024, MaxInflight: 64})
+	srv := serve.New(eng, serve.WithCacheSize(1024), serve.WithMaxInflight(64))
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -709,7 +709,7 @@ func BenchmarkServe_PredictBatchThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		srv := serve.New(eng, serve.Config{CacheSize: 1024, MaxInflight: 64})
+		srv := serve.New(eng, serve.WithCacheSize(1024), serve.WithMaxInflight(64))
 		ts := httptest.NewServer(srv.Handler())
 		return srv, ts
 	}

@@ -4,24 +4,33 @@
 // first boot it trains a predictor through the experiment harness and
 // caches it to -model; later boots (and POST /v1/reload) load the file.
 //
-// Endpoints:
+// Endpoints (the full v1 route map lives in README.md "Serving the
+// model"):
 //
-//	POST /v1/predict     counter feature vector -> predicted configuration
-//	                     ({"batch": [...]} evaluates many vectors in one
-//	                     batched kernel call and streams per-item results;
-//	                     ?probs=1 adds the per-parameter soft-max
-//	                     probabilities)
-//	GET  /v1/designspace Table I metadata and the serving model's shape
-//	GET  /v1/status      SLO snapshot: model fingerprint, per-(path, code)
-//	                     request counters, error rates, cache and batch
-//	                     stats, and windowed per-route latency
-//	                     p50/p99/p999 — uptime-free, so snapshots diff
-//	                     cleanly
-//	GET  /healthz        liveness + model info + cache stats
-//	GET  /metrics        Prometheus text: request counts, latency
-//	                     histogram, cache hit rate, saturation, plus the
-//	                     process-wide sim/experiment series
-//	POST /v1/reload      re-read -model and hot-swap it, zero downtime
+//	POST /v1/predict        counter feature vector -> predicted
+//	                        configuration ({"batch": [...]} evaluates many
+//	                        vectors in one batched kernel call and streams
+//	                        per-item results; ?probs=1 adds the
+//	                        per-parameter soft-max probabilities; the
+//	                        X-Request-Class header or "class" field tags
+//	                        the admission class)
+//	GET  /v1/designspace    Table I metadata and the serving model's shape
+//	GET  /v1/models         active + shadow model identity and the
+//	                        shadow's agreement stats
+//	POST /v1/models/promote hot-swap the shadow to active (optional
+//	                        minAgreement/minCompared evidence gates)
+//	GET  /v1/status         SLO snapshot: model fingerprint, per-(path,
+//	                        code) request counters, error rates, cache and
+//	                        batch stats, windowed per-route latency
+//	                        p50/p99/p999, per-class admission counters and
+//	                        quantiles, and the shadow section — uptime-
+//	                        free, so snapshots diff cleanly
+//	GET  /healthz           liveness + model info + cache stats
+//	GET  /metrics           Prometheus text: request counts, latency
+//	                        histogram, cache hit rate, saturation, shed
+//	                        and shadow series, plus the process-wide
+//	                        sim/experiment series
+//	POST /v1/reload         re-read -model and hot-swap it, zero downtime
 //
 // With -debug, introspection endpoints are mounted as well: net/http/pprof
 // under /debug/pprof/, an expvar-style snapshot at /debug/vars, and a
@@ -33,9 +42,17 @@
 //	       [-quantized] [-train-scale test|default] [-cache-dir DIR]
 //	       [-cache 4096] [-max-inflight 64] [-timeout 5s] [-max-body N]
 //	       [-coalesce-window 0] [-coalesce-max 64]
+//	       [-admission] [-slo-p99 0] [-admission-rate class=RATE[:BURST]]...
+//	       [-shadow candidate.model] [-shadow-queue 1024]
 //	       [-debug] [-log-json] [-log-level info] [-manifest out.json]
 //	       [-loadgen] [-loadgen-requests N] [-loadgen-conc N]
-//	       [-loadgen-pool N] [-batch N] [-seed N]
+//	       [-loadgen-pool N] [-loadgen-batch N] [-loadgen-seed N]
+//	       [-loadgen-mode closed|open] [-rps N]
+//	       [-loadgen-arrivals poisson|pareto] [-loadgen-zipf S]
+//	       [-loadgen-mix interactive=0.7,batch=0.2,background=0.1]
+//
+// (-batch and -seed remain as deprecated aliases for -loadgen-batch and
+// -loadgen-seed.)
 //
 // With -cache-dir, first-boot training runs against the persistent
 // simulation-result store (internal/store): a boot interrupted by SIGINT
@@ -44,7 +61,15 @@
 //
 // With -loadgen the daemon boots normally, points a deterministic seeded
 // load generator at itself, prints the throughput/latency report and the
-// server metrics, and exits — a reproducible serving benchmark.
+// server metrics, and exits — a reproducible serving benchmark. The
+// default closed loop measures capacity; -loadgen-mode open offers load
+// at a fixed -rps with Poisson or heavy-tailed Pareto arrivals, which is
+// how to observe shedding and overload behaviour.
+//
+// With -shadow, a second model file is loaded as a shadow: it receives
+// duplicated traffic strictly off the request path and its agreement with
+// the active model streams through /v1/models, /v1/status and /metrics
+// until POST /v1/models/promote swaps it in.
 package main
 
 import (
@@ -59,6 +84,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -89,12 +116,34 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		loadgen    = flag.Bool("loadgen", false, "boot, benchmark the server with seeded load, print a report, exit")
 		lgRequests = flag.Int("loadgen-requests", 2000, "loadgen: total requests")
-		lgConc     = flag.Int("loadgen-conc", 8, "loadgen: concurrent workers")
+		lgConc     = flag.Int("loadgen-conc", 8, "loadgen: concurrent workers (closed mode)")
 		lgPool     = flag.Int("loadgen-pool", 64, "loadgen: distinct feature vectors (repeats exercise the cache)")
-		lgBatch    = flag.Int("batch", 1, "loadgen: feature vectors per request (>= 2 uses the batch payload)")
-		seed       = flag.Uint64("seed", 1, "loadgen schedule seed")
+		lgMode     = flag.String("loadgen-mode", "closed", "loadgen replay discipline: closed (workers) or open (fixed arrival rate)")
+		rps        = flag.Float64("rps", 0, "loadgen: open-loop target arrivals per second (required with -loadgen-mode open)")
+		lgArrivals = flag.String("loadgen-arrivals", "poisson", "loadgen open-loop inter-arrival law: poisson or pareto (heavy-tailed)")
+		lgZipf     = flag.Float64("loadgen-zipf", 0, "loadgen: Zipf popularity exponent over the pool (0 = uniform)")
+		lgMix      = flag.String("loadgen-mix", "", "loadgen: class mix as class=share pairs, e.g. interactive=0.7,batch=0.2,background=0.1 (empty = that default)")
+		admitOn    = flag.Bool("admission", false, "enable per-class admission control with the default shed-lowest-first ladder")
+		sloP99     = flag.Duration("slo-p99", 0, "admission: windowed /v1/predict p99 target defended by SLO shedding (0 disables; implies -admission)")
+		shadowPath = flag.String("shadow", "", "load this model file as a shadow: evaluated on duplicated traffic off the request path")
+		shadowQ    = flag.Int("shadow-queue", 1024, "shadow duplication queue length (overflow drops duplicates)")
 		manifest   = flag.String("manifest", "", "write a run manifest to this file; defaults to manifest-adaptd.json under -cache-dir")
 	)
+	var lgBatch int
+	flag.IntVar(&lgBatch, "loadgen-batch", 1, "loadgen: feature vectors per request (>= 2 uses the batch payload)")
+	flag.IntVar(&lgBatch, "batch", 1, "deprecated alias for -loadgen-batch")
+	var lgSeed uint64
+	flag.Uint64Var(&lgSeed, "loadgen-seed", 1, "loadgen schedule seed")
+	flag.Uint64Var(&lgSeed, "seed", 1, "deprecated alias for -loadgen-seed")
+	admitRates := map[serve.Class]serve.ClassPolicy{}
+	flag.Func("admission-rate", "admission token bucket as class=RATE[:BURST], repeatable (implies -admission)", func(v string) error {
+		class, pol, err := parseRate(v)
+		if err != nil {
+			return err
+		}
+		admitRates[class] = pol
+		return nil
+	})
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, *logJSON, obs.ParseLevel(*logLevel))
@@ -138,18 +187,39 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	srv := serve.New(eng, serve.Config{
-		ModelPath:      *modelPath,
-		Quantized:      *quantized,
-		CacheSize:      *cacheSize,
-		MaxBody:        *maxBody,
-		Timeout:        *timeout,
-		MaxInflight:    *maxInfl,
-		CoalesceWindow: *coWindow,
-		CoalesceMax:    *coMax,
-		Debug:          *debug,
-		Tracer:         tracer,
-	})
+	opts := []serve.Option{
+		serve.WithModelPath(*modelPath),
+		serve.WithCacheSize(*cacheSize),
+		serve.WithMaxBody(*maxBody),
+		serve.WithTimeout(*timeout),
+		serve.WithMaxInflight(*maxInfl),
+		serve.WithCoalescing(*coWindow, *coMax),
+		serve.WithTracer(tracer),
+		serve.WithShadowQueue(*shadowQ),
+	}
+	if *debug {
+		opts = append(opts, serve.WithDebug())
+	}
+	admission := *admitOn || *sloP99 > 0 || len(admitRates) > 0
+	if admission {
+		cfg := serve.DefaultAdmissionConfig()
+		cfg.TargetP99 = *sloP99
+		for class, pol := range admitRates {
+			base := cfg.Classes[class]
+			base.Rate, base.Burst = pol.Rate, pol.Burst
+			cfg.Classes[class] = base
+		}
+		opts = append(opts, serve.WithAdmission(cfg))
+	}
+	if *shadowPath != "" {
+		shadowEng, err := loadShadow(*shadowPath, set, *quantized)
+		if err != nil {
+			die(err)
+		}
+		opts = append(opts, serve.WithShadow(shadowEng, *shadowPath))
+		logger.Info("shadow model loaded", "path", *shadowPath, "version", shadowEng.Version())
+	}
+	srv := serve.New(eng, opts...)
 	defer srv.Close()
 	mode := "float64"
 	if *quantized {
@@ -172,6 +242,9 @@ func main() {
 		man.SetDet("maxInflight", *maxInfl)
 		man.SetDet("coalesceWindowNS", int64(*coWindow))
 		man.SetDet("coalesceMax", *coMax)
+		man.SetDet("admission", admission)
+		man.SetDet("sloP99NS", int64(*sloP99))
+		man.SetDet("shadow", *shadowPath)
 		man.SetTiming("bootSeconds", time.Since(bootStart).Seconds())
 	}
 	writeManifest := func() {
@@ -186,9 +259,25 @@ func main() {
 	}
 
 	if *loadgen {
+		mix, err := parseMix(*lgMix)
+		if err != nil {
+			die(err)
+		}
+		lg := serve.LoadGen{
+			Requests:    *lgRequests,
+			Concurrency: *lgConc,
+			Seed:        lgSeed,
+			Pool:        serve.SyntheticFeatures(eng.Dim(), *lgPool, lgSeed),
+			Batch:       lgBatch,
+			Mode:        *lgMode,
+			RPS:         *rps,
+			Arrivals:    *lgArrivals,
+			ZipfS:       *lgZipf,
+			Mix:         mix,
+		}
 		// Loadgen binds its own loopback port: it benchmarks the serving
 		// stack in-process rather than exposing -addr.
-		runLoadgen(logger, srv, man, *lgRequests, *lgConc, *lgPool, *lgBatch, *seed)
+		runLoadgen(logger, srv, man, lg, *lgPool)
 		writeManifest()
 		return
 	}
@@ -289,11 +378,13 @@ func bootPredictor(ctx context.Context, logger *slog.Logger, path string, set co
 }
 
 // runLoadgen serves on a local listener and fires the seeded load
-// generator at it, printing the report, the /v1/status windowed latency
-// quantiles and the server's own metrics. When man is non-nil, the
-// schedule joins its deterministic section and every measured outcome
-// (counts included — 429s are timing-dependent) joins timing.
-func runLoadgen(logger *slog.Logger, srv *serve.Server, man *obs.Manifest, requests, conc, pool, batch int, seed uint64) {
+// generator at it, printing the report (per-class rows included), the
+// /v1/status windowed latency quantiles, the shadow agreement line when
+// a shadow is mounted, and the server's own metrics. When man is
+// non-nil, the schedule joins its deterministic section and every
+// measured outcome (counts included — 429s and sheds are
+// timing-dependent) joins timing.
+func runLoadgen(logger *slog.Logger, srv *serve.Server, man *obs.Manifest, lg serve.LoadGen, pool int) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		logger.Error("fatal", "err", err)
@@ -303,22 +394,23 @@ func runLoadgen(logger *slog.Logger, srv *serve.Server, man *obs.Manifest, reque
 	go func() { _ = httpSrv.Serve(ln) }()
 	defer httpSrv.Close()
 
-	eng := srv.Engine()
-	lg := serve.LoadGen{
-		Requests:    requests,
-		Concurrency: conc,
-		Seed:        seed,
-		Pool:        serve.SyntheticFeatures(eng.Dim(), pool, seed),
-		Batch:       batch,
-	}
-	logger.Info("loadgen", "requests", requests, "workers", conc, "pool", pool, "batch", batch, "seed", seed)
-	rep, err := lg.Run("http://"+ln.Addr().String(), &http.Client{Timeout: 30 * time.Second})
+	logger.Info("loadgen", "mode", lg.Mode, "requests", lg.Requests, "workers", lg.Concurrency,
+		"rps", lg.RPS, "arrivals", lg.Arrivals, "zipf", lg.ZipfS,
+		"pool", pool, "batch", lg.Batch, "seed", lg.Seed)
+	rep, err := lg.Run("http://"+ln.Addr().String(), nil)
 	if err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 	fmt.Println(rep)
 	fmt.Printf("server cache hit rate: %.1f%%\n\n", 100*srv.HitRate())
+
+	// Let the shadow worker drain its queue before reading agreement —
+	// duplicated traffic is asynchronous by contract, so the final few
+	// comparisons may land after the last response.
+	if !srv.ShadowDrain(30 * time.Second) {
+		logger.Warn("shadow queue did not drain within 30s; agreement stats may be partial")
+	}
 
 	status := fetchStatus(logger, "http://"+ln.Addr().String())
 	if status != nil {
@@ -330,16 +422,31 @@ func runLoadgen(logger *slog.Logger, srv *serve.Server, man *obs.Manifest, reque
 			fmt.Printf("  slo %-16s p50=%.6fs p99=%.6fs p999=%.6fs requests=%d\n",
 				rl.Path, rl.P50Seconds, rl.P99Seconds, rl.P999Seconds, rl.TotalCount)
 		}
+		for _, cs := range status.Admission.Classes {
+			if cs.Requests == 0 && cs.TotalCount == 0 {
+				continue
+			}
+			fmt.Printf("  class %-12s requests=%d shed=%d p50=%.6fs p99=%.6fs\n",
+				cs.Class, cs.Requests, cs.Shed, cs.P50Seconds, cs.P99Seconds)
+		}
+		if sh := status.Shadow; sh != nil {
+			fmt.Printf("  shadow %-12s compared=%d dropped=%d paramAgreement=%.3f decisionMatch=%.3f\n",
+				sh.Source, sh.Compared, sh.Dropped, sh.ParamAgreement, sh.DecisionMatchRate)
+		}
 		fmt.Println()
 	}
 	fmt.Println(srv.MetricsText())
 
 	if man != nil {
-		man.SetDet("loadgen.requests", requests)
-		man.SetDet("loadgen.concurrency", conc)
+		man.SetDet("loadgen.mode", lg.Mode)
+		man.SetDet("loadgen.requests", lg.Requests)
+		man.SetDet("loadgen.concurrency", lg.Concurrency)
+		man.SetDet("loadgen.rps", lg.RPS)
+		man.SetDet("loadgen.arrivals", lg.Arrivals)
+		man.SetDet("loadgen.zipf", lg.ZipfS)
 		man.SetDet("loadgen.pool", pool)
-		man.SetDet("loadgen.batch", batch)
-		man.SetDet("loadgen.seed", seed)
+		man.SetDet("loadgen.batch", lg.Batch)
+		man.SetDet("loadgen.seed", lg.Seed)
 		man.SetTiming("loadgen.elapsedSeconds", rep.Elapsed.Seconds())
 		man.SetTiming("loadgen.requestsPerSec", rep.RequestsPerSec)
 		man.SetTiming("loadgen.p50Seconds", rep.P50.Seconds())
@@ -347,6 +454,7 @@ func runLoadgen(logger *slog.Logger, srv *serve.Server, man *obs.Manifest, reque
 		man.SetTiming("loadgen.maxSeconds", rep.Max.Seconds())
 		man.SetTiming("loadgen.ok", float64(rep.OK))
 		man.SetTiming("loadgen.rejected", float64(rep.Rejected))
+		man.SetTiming("loadgen.shed", float64(rep.Shed))
 		man.SetTiming("loadgen.errors", float64(rep.ClientErr+rep.ServerErr+rep.Transport))
 		man.SetTiming("loadgen.cacheHits", float64(rep.CacheHits))
 		if status != nil {
@@ -358,8 +466,94 @@ func runLoadgen(logger *slog.Logger, srv *serve.Server, man *obs.Manifest, reque
 				man.SetTiming("slo."+rl.Path+".p99Seconds", rl.P99Seconds)
 				man.SetTiming("slo."+rl.Path+".p999Seconds", rl.P999Seconds)
 			}
+			for _, cs := range status.Admission.Classes {
+				if cs.TotalCount == 0 {
+					continue
+				}
+				man.SetTiming("slo.class."+cs.Class+".p50Seconds", cs.P50Seconds)
+				man.SetTiming("slo.class."+cs.Class+".p99Seconds", cs.P99Seconds)
+				man.SetTiming("slo.class."+cs.Class+".shed", float64(cs.Shed))
+			}
+			if sh := status.Shadow; sh != nil {
+				man.SetTiming("shadow.compared", float64(sh.Compared))
+				man.SetTiming("shadow.dropped", float64(sh.Dropped))
+				man.SetTiming("shadow.paramAgreement", sh.ParamAgreement)
+				man.SetTiming("shadow.decisionMatchRate", sh.DecisionMatchRate)
+			}
 		}
 	}
+}
+
+// parseRate parses an -admission-rate value of the form
+// class=RATE[:BURST] (RATE in requests per second; BURST defaults to
+// the policy default, ceil(rate) but at least 1).
+func parseRate(v string) (serve.Class, serve.ClassPolicy, error) {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return 0, serve.ClassPolicy{}, fmt.Errorf("admission-rate %q: want class=RATE[:BURST]", v)
+	}
+	class, ok := serve.ParseClass(name)
+	if !ok {
+		return 0, serve.ClassPolicy{}, fmt.Errorf("admission-rate %q: unknown class %q", v, name)
+	}
+	rateStr, burstStr, hasBurst := strings.Cut(spec, ":")
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil || rate <= 0 {
+		return 0, serve.ClassPolicy{}, fmt.Errorf("admission-rate %q: bad rate %q", v, rateStr)
+	}
+	pol := serve.ClassPolicy{Rate: rate}
+	if hasBurst {
+		burst, err := strconv.ParseFloat(burstStr, 64)
+		if err != nil || burst <= 0 {
+			return 0, serve.ClassPolicy{}, fmt.Errorf("admission-rate %q: bad burst %q", v, burstStr)
+		}
+		pol.Burst = burst
+	}
+	return class, pol, nil
+}
+
+// parseMix parses a -loadgen-mix value: comma-separated class=share
+// pairs. Empty input returns the default 70/20/10 mix.
+func parseMix(s string) (serve.ClassMix, error) {
+	if s == "" {
+		return serve.DefaultClassMix(), nil
+	}
+	var mix serve.ClassMix
+	for _, pair := range strings.Split(s, ",") {
+		name, shareStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return mix, fmt.Errorf("loadgen-mix %q: want class=share pairs", s)
+		}
+		class, okc := serve.ParseClass(name)
+		if !okc || name == "" {
+			return mix, fmt.Errorf("loadgen-mix %q: unknown class %q", s, name)
+		}
+		share, err := strconv.ParseFloat(shareStr, 64)
+		if err != nil || share < 0 {
+			return mix, fmt.Errorf("loadgen-mix %q: bad share %q", s, shareStr)
+		}
+		mix[class] = share
+	}
+	return mix, nil
+}
+
+// loadShadow loads a candidate model file as a shadow engine, holding it
+// to the same counter-set and quantization discipline as the active
+// model so promotion is always a like-for-like swap.
+func loadShadow(path string, set counters.Set, quantized bool) (*serve.Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening -shadow %s: %w", path, err)
+	}
+	defer f.Close()
+	pred, err := core.LoadPredictor(f)
+	if err != nil {
+		return nil, fmt.Errorf("loading -shadow %s: %w", path, err)
+	}
+	if pred.Set != set {
+		return nil, fmt.Errorf("shadow %s was trained on the %q counter set but -counter-set is %q", path, pred.Set, set)
+	}
+	return serve.NewEngine(pred, quantized)
 }
 
 // fetchStatus reads /v1/status; a failure logs and returns nil rather

@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/counters"
+)
+
+func TestParseClass(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Class
+		ok   bool
+	}{
+		{"", ClassInteractive, true},
+		{"interactive", ClassInteractive, true},
+		{"batch", ClassBatch, true},
+		{"background", ClassBackground, true},
+		{"BATCH", ClassInteractive, false},
+		{"bulk", ClassInteractive, false},
+	}
+	for _, tc := range cases {
+		got, ok := ParseClass(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("ParseClass(%q) = %v,%v; want %v,%v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		rt, ok := ParseClass(c.String())
+		if !ok || rt != c {
+			t.Errorf("class %d does not round-trip through its name %q", c, c.String())
+		}
+	}
+}
+
+// classedBody builds a predict payload carrying the class in the JSON
+// body rather than the header.
+func classedBody(t testing.TB, d int, v float64, class string) []byte {
+	t.Helper()
+	f := make([]float64, d)
+	f[0] = v
+	f[d-1] = 1
+	b, err := json.Marshal(PredictRequest{Features: f, Class: class})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// postClassed POSTs a predict with an X-Request-Class header.
+func postClassed(t testing.TB, url string, body []byte, class string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/predict", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if class != "" {
+		req.Header.Set("X-Request-Class", class)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestAdmissionInvalidClassRejected(t *testing.T) {
+	_, ts := newTestServer(t, WithAdmission(DefaultAdmissionConfig()))
+	d := counters.Dim(counters.Basic)
+	if resp := postClassed(t, ts.URL, predictBody(t, d, 1), "bulk"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown header class -> %d, want 400", resp.StatusCode)
+	}
+	resp, data := postPredict(t, ts, classedBody(t, d, 1, "bulk"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown payload class -> %d, want 400: %s", resp.StatusCode, data)
+	}
+}
+
+// TestAdmissionSLOShedsLowestClassFirst injects a windowed p99 between the
+// background and batch shed thresholds: background must shed with the slo
+// reason while batch and interactive keep answering 200.
+func TestAdmissionSLOShedsLowestClassFirst(t *testing.T) {
+	cfg := DefaultAdmissionConfig()
+	cfg.TargetP99 = 100 * time.Millisecond
+	s, ts := newTestServer(t, WithAdmission(cfg))
+	// Injected p99, atomically updatable mid-test (handler goroutines read
+	// it concurrently under -race).
+	var p99 atomic.Uint64
+	s.adm.readP99 = func() float64 { return math.Float64frombits(p99.Load()) }
+	s.adm.p99Every = 0
+	// p99 = 0.6*target: past background's 0.5 ladder rung, short of
+	// batch's 0.8 and interactive's (none).
+	p99.Store(math.Float64bits(0.06))
+
+	d := counters.Dim(counters.Basic)
+	body := predictBody(t, d, 1)
+	resp := postClassed(t, ts.URL, body, "background")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("background under SLO pressure -> %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get(shedHeader); got != "background:slo" {
+		t.Errorf("shed header = %q, want background:slo", got)
+	}
+	for _, class := range []string{"batch", "interactive", ""} {
+		if resp := postClassed(t, ts.URL, body, class); resp.StatusCode != http.StatusOK {
+			t.Errorf("class %q under background-only pressure -> %d, want 200", class, resp.StatusCode)
+		}
+	}
+	if !strings.Contains(s.MetricsText(), `adaptd_admission_shed_total{class="background",reason="slo"} 1`) {
+		t.Error("shed not counted per class/reason in metrics")
+	}
+
+	// Status reports the shed per class and the per-class quantiles.
+	sr := getStatus(t, ts.URL)
+	if !sr.Admission.Enabled || sr.Admission.TargetP99Seconds != 0.1 {
+		t.Errorf("admission status = %+v", sr.Admission)
+	}
+	rows := map[string]ClassStatus{}
+	for _, c := range sr.Admission.Classes {
+		rows[c.Class] = c
+	}
+	if rows["background"].Shed != 1 || rows["background"].ShedByCause["slo"] != 1 {
+		t.Errorf("background row = %+v, want 1 slo shed", rows["background"])
+	}
+	if rows["batch"].Shed != 0 || rows["interactive"].Shed != 0 {
+		t.Errorf("higher classes shed: batch=%+v interactive=%+v", rows["batch"], rows["interactive"])
+	}
+	if rows["interactive"].P50Seconds <= 0 || rows["interactive"].P99Seconds <= 0 {
+		t.Errorf("interactive quantiles not positive: %+v", rows["interactive"])
+	}
+	if sr.Admission.Classes[0].Class != "interactive" || sr.Admission.Classes[2].Class != "background" {
+		t.Errorf("class rows not in importance order: %+v", sr.Admission.Classes)
+	}
+
+	// Pressure past every rung sheds batch too; interactive still answers.
+	p99.Store(math.Float64bits(0.2))
+	if resp := postClassed(t, ts.URL, body, "batch"); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("batch past its rung -> %d, want 429", resp.StatusCode)
+	}
+	if resp := postClassed(t, ts.URL, body, "interactive"); resp.StatusCode != http.StatusOK {
+		t.Errorf("interactive past every rung -> %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestAdmissionShareCapProtectsInteractive pins the headroom guarantee:
+// with background capped at half the in-flight slots, a fully parked
+// background load can never make the semaphore 429 an admitted interactive
+// request.
+func TestAdmissionShareCapProtectsInteractive(t *testing.T) {
+	s, ts := newTestServer(t, WithAdmission(DefaultAdmissionConfig()), WithMaxInflight(4))
+	// Park two background requests: occupy their admitted inflight share
+	// and the semaphore slots they would hold inside the handler.
+	bg := &s.adm.classes[ClassBackground]
+	if bg.capInflight != 2 {
+		t.Fatalf("background capInflight = %d, want 2 (0.5 * 4)", bg.capInflight)
+	}
+	bg.inflight.Add(2)
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	defer func() { bg.inflight.Add(-2); <-s.sem; <-s.sem }()
+
+	d := counters.Dim(counters.Basic)
+	body := predictBody(t, d, 1)
+	resp := postClassed(t, ts.URL, body, "background")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("background over its share -> %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get(shedHeader); got != "background:inflight-share" {
+		t.Errorf("shed header = %q, want background:inflight-share", got)
+	}
+	// The two slots background cannot take keep interactive admissible.
+	for i := 0; i < 4; i++ {
+		if resp := postClassed(t, ts.URL, body, "interactive"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("interactive with background parked -> %d, want 200", resp.StatusCode)
+		}
+	}
+	if s.metrics.saturated.Value() != 0 {
+		t.Error("semaphore 429'd an admitted request despite the share cap")
+	}
+}
+
+// TestAdmissionTokenBucket drives a rate-limited class with a fake clock.
+func TestAdmissionTokenBucket(t *testing.T) {
+	cfg := AdmissionConfig{Classes: map[Class]ClassPolicy{
+		ClassBackground: {Rate: 2, Burst: 2},
+	}}
+	s, ts := newTestServer(t, WithAdmission(cfg))
+	base := time.Unix(1000, 0)
+	var offsetNanos atomic.Int64
+	s.adm.now = func() time.Time { return base.Add(time.Duration(offsetNanos.Load())) }
+	// Re-anchor the bucket to the fake clock (construction stamped it with
+	// the real one).
+	bg := &s.adm.classes[ClassBackground]
+	bg.mu.Lock()
+	bg.last = base
+	bg.mu.Unlock()
+
+	d := counters.Dim(counters.Basic)
+	body := predictBody(t, d, 1)
+	for i := 0; i < 2; i++ {
+		if resp := postClassed(t, ts.URL, body, "background"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d -> %d, want 200", i, resp.StatusCode)
+		}
+	}
+	resp := postClassed(t, ts.URL, body, "background")
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get(shedHeader) != "background:rate" {
+		t.Fatalf("empty bucket -> %d (%q), want 429 background:rate", resp.StatusCode, resp.Header.Get(shedHeader))
+	}
+	// Unlimited classes never consult the bucket.
+	if resp := postClassed(t, ts.URL, body, "interactive"); resp.StatusCode != http.StatusOK {
+		t.Errorf("interactive -> %d, want 200", resp.StatusCode)
+	}
+	// Half a second refills one token at 2/s.
+	offsetNanos.Store(int64(500 * time.Millisecond))
+	if resp := postClassed(t, ts.URL, body, "background"); resp.StatusCode != http.StatusOK {
+		t.Errorf("after refill -> %d, want 200", resp.StatusCode)
+	}
+	if resp := postClassed(t, ts.URL, body, "background"); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("bucket drained again -> %d, want 429", resp.StatusCode)
+	}
+}
+
+// TestAdmissionDisabledByDefault: without WithAdmission nothing sheds and
+// the status section says so (class latency rows still render).
+func TestAdmissionDisabledByDefault(t *testing.T) {
+	_, ts := newTestServer(t)
+	d := counters.Dim(counters.Basic)
+	for _, class := range []string{"background", "batch", "interactive"} {
+		if resp := postClassed(t, ts.URL, predictBody(t, d, 1), class); resp.StatusCode != http.StatusOK {
+			t.Errorf("class %q without admission -> %d, want 200", class, resp.StatusCode)
+		}
+	}
+	sr := getStatus(t, ts.URL)
+	if sr.Admission.Enabled {
+		t.Error("admission reported enabled without WithAdmission")
+	}
+	if len(sr.Admission.Classes) != int(NumClasses) {
+		t.Fatalf("%d class rows, want %d", len(sr.Admission.Classes), NumClasses)
+	}
+	for _, c := range sr.Admission.Classes {
+		if c.Requests != 1 || c.Shed != 0 {
+			t.Errorf("class row %+v, want 1 request / 0 shed", c)
+		}
+	}
+}
+
+// TestLoadGenCountsShedSeparately drives the loadgen against a server
+// whose background bucket is empty: background 429s land in Shed (the
+// X-Adaptd-Shed header distinguishes them), never in Rejected.
+func TestLoadGenCountsShedSeparately(t *testing.T) {
+	cfg := AdmissionConfig{Classes: map[Class]ClassPolicy{
+		ClassBackground: {Rate: 1e-9, Burst: 1e-9}, // effectively zero
+	}}
+	_, ts := newTestServer(t, WithAdmission(cfg), WithCacheSize(64), WithMaxInflight(32))
+	lg := LoadGen{
+		Requests:    90,
+		Concurrency: 4,
+		Seed:        7,
+		Pool:        SyntheticFeatures(counters.Dim(counters.Basic), 8, 7),
+	}
+	rep, err := lg.Run(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 || rep.Rejected != 0 {
+		t.Fatalf("shed=%d rejected=%d, want shed>0 rejected=0", rep.Shed, rep.Rejected)
+	}
+	if rep.OK+rep.Shed != rep.Requests {
+		t.Errorf("ok=%d shed=%d requests=%d do not add up", rep.OK, rep.Shed, rep.Requests)
+	}
+	for _, c := range rep.Classes {
+		switch c.Class {
+		case "background":
+			if c.Shed != c.Requests || c.OK != 0 {
+				t.Errorf("background row %+v, want all shed", c)
+			}
+		default:
+			if c.Shed != 0 || c.OK != c.Requests {
+				t.Errorf("%s row %+v, want all ok", c.Class, c)
+			}
+		}
+	}
+	if !strings.Contains(rep.String(), "shed=") {
+		t.Error("report string does not mention shed")
+	}
+}

@@ -47,8 +47,8 @@ func TestPredictBatchByteIdentical(t *testing.T) {
 			name := fmt.Sprintf("quantized=%v%s", quantized, probs)
 			t.Run(name, func(t *testing.T) {
 				batch := testBatch(6, 4) // item 4 duplicates item 0
-				_, batchTS := newTestServer(t, Config{CacheSize: 64, Quantized: quantized})
-				_, singleTS := newTestServer(t, Config{CacheSize: 64, Quantized: quantized})
+				_, batchTS := newTestServerQ(t, quantized, WithCacheSize(64))
+				_, singleTS := newTestServerQ(t, quantized, WithCacheSize(64))
 
 				resp, got := postPath(t, batchTS, "/v1/predict"+probs, batchBody(t, batch))
 				if resp.StatusCode != http.StatusOK {
@@ -95,7 +95,7 @@ func TestPredictBatchByteIdentical(t *testing.T) {
 }
 
 func TestPredictBatchEmpty(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t)
 	resp, data := postPredict(t, ts, []byte(`{"batch": []}`))
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("empty batch -> %d: %s", resp.StatusCode, data)
@@ -107,7 +107,7 @@ func TestPredictBatchEmpty(t *testing.T) {
 }
 
 func TestPredictBatchOverMaxBody(t *testing.T) {
-	_, ts := newTestServer(t, Config{MaxBody: 512})
+	_, ts := newTestServer(t, WithMaxBody(512))
 	resp, data := postPredict(t, ts, batchBody(t, testBatch(64, -1)))
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized batch -> %d: %s", resp.StatusCode, data)
@@ -115,7 +115,7 @@ func TestPredictBatchOverMaxBody(t *testing.T) {
 }
 
 func TestPredictBatchMixedDimensions(t *testing.T) {
-	_, ts := newTestServer(t, Config{CacheSize: 16})
+	_, ts := newTestServer(t, WithCacheSize(16))
 	batch := testBatch(4, -1)
 	batch[2] = []float64{1, 2, 3} // wrong dimension mid-batch
 	resp, data := postPredict(t, ts, batchBody(t, batch))
@@ -134,7 +134,7 @@ func TestPredictBatchMixedDimensions(t *testing.T) {
 // TestPredictBatchRejectionComputesNothing asserts a rejected batch leaves
 // no trace: no cache entries, no kernel calls.
 func TestPredictBatchRejectionComputesNothing(t *testing.T) {
-	s, ts := newTestServer(t, Config{CacheSize: 16})
+	s, ts := newTestServer(t, WithCacheSize(16))
 	batch := testBatch(4, -1)
 	batch[3] = []float64{1}
 	postPredict(t, ts, batchBody(t, batch))
@@ -150,7 +150,7 @@ func TestPredictBatchRejectionComputesNothing(t *testing.T) {
 // the single and batch paths: a batch item identical to a previously
 // cached single request must hit.
 func TestPredictBatchHitsSingleRequestCache(t *testing.T) {
-	s, ts := newTestServer(t, Config{CacheSize: 16})
+	s, ts := newTestServer(t, WithCacheSize(16))
 	batch := testBatch(3, -1)
 	single, err := json.Marshal(PredictRequest{Features: batch[1]})
 	if err != nil {
@@ -192,7 +192,7 @@ func TestPredictBatchHitsSingleRequestCache(t *testing.T) {
 }
 
 func TestPredictBatchAndFeaturesMutuallyExclusive(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t)
 	d := counters.Dim(counters.Basic)
 	f := make([]float64, d)
 	b, err := json.Marshal(PredictRequest{Features: f, Batch: [][]float64{f}})
@@ -212,8 +212,8 @@ func TestPredictBatchAndFeaturesMutuallyExclusive(t *testing.T) {
 // coalescing server and a plain one: every response body must match, and
 // the coalescing server must actually have batched something.
 func TestCoalescingByteIdentical(t *testing.T) {
-	co, coTS := newTestServer(t, Config{CoalesceWindow: 2 * time.Millisecond, CoalesceMax: 8, MaxInflight: 64})
-	_, plainTS := newTestServer(t, Config{MaxInflight: 64})
+	co, coTS := newTestServer(t, WithCoalescing(2*time.Millisecond, 8), WithMaxInflight(64))
+	_, plainTS := newTestServer(t, WithMaxInflight(64))
 	d := counters.Dim(counters.Basic)
 	pool := SyntheticFeatures(d, 16, 7)
 
@@ -276,7 +276,7 @@ func TestCoalescingByteIdentical(t *testing.T) {
 // TestCoalescerCloseFallsBack asserts requests after Close still answer
 // (direct kernel) rather than hanging.
 func TestCoalescerCloseFallsBack(t *testing.T) {
-	s, ts := newTestServer(t, Config{CoalesceWindow: time.Millisecond})
+	s, ts := newTestServer(t, WithCoalescing(time.Millisecond, 0))
 	s.Close()
 	d := counters.Dim(counters.Basic)
 	resp, data := postPredict(t, ts, predictBody(t, d, 1))
@@ -289,7 +289,7 @@ func TestCoalescerCloseFallsBack(t *testing.T) {
 // error surface: every route answers a disallowed method with 405, the
 // JSON {"error": ...} envelope, and a correct Allow header.
 func TestErrorEnvelopeAndAllow(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t)
 	cases := []struct {
 		path   string
 		method string // the wrong method to send
@@ -298,6 +298,8 @@ func TestErrorEnvelopeAndAllow(t *testing.T) {
 		{"/v1/predict", http.MethodGet, http.MethodPost},
 		{"/v1/designspace", http.MethodPost, http.MethodGet},
 		{"/v1/reload", http.MethodGet, http.MethodPost},
+		{"/v1/models", http.MethodPost, http.MethodGet},
+		{"/v1/models/promote", http.MethodGet, http.MethodPost},
 		{"/healthz", http.MethodDelete, http.MethodGet},
 		{"/metrics", http.MethodPost, http.MethodGet},
 	}
@@ -360,7 +362,7 @@ func TestEnginePredictBatchMatchesPredict(t *testing.T) {
 
 // TestLoadGenBatchMode drives the loadgen's batch payloads end to end.
 func TestLoadGenBatchMode(t *testing.T) {
-	_, ts := newTestServer(t, Config{CacheSize: 64, MaxInflight: 32})
+	_, ts := newTestServer(t, WithCacheSize(64), WithMaxInflight(32))
 	lg := LoadGen{
 		Requests:    120,
 		Concurrency: 4,

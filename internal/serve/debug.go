@@ -94,7 +94,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
-	t := s.cfg.Tracer
+	t := s.opt.tracer
 	if t == nil {
 		writeError(w, http.StatusNotFound, "no tracer attached (run adaptd with -debug)")
 		return

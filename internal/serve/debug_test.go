@@ -12,7 +12,7 @@ import (
 )
 
 func TestDebugEndpointsHiddenByDefault(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t)
 	for _, path := range []string{"/debug/vars", "/debug/trace", "/debug/pprof/"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
@@ -26,7 +26,7 @@ func TestDebugEndpointsHiddenByDefault(t *testing.T) {
 }
 
 func TestDebugVarsSnapshot(t *testing.T) {
-	_, ts := newTestServer(t, Config{Debug: true})
+	_, ts := newTestServer(t, WithDebug())
 	d := counters.Dim(counters.Basic)
 	postPredict(t, ts, predictBody(t, d, 1))
 
@@ -56,7 +56,7 @@ func TestDebugVarsSnapshot(t *testing.T) {
 func TestDebugTraceSnapshot(t *testing.T) {
 	tr := obs.NewTracer()
 	tr.Enable()
-	_, ts := newTestServer(t, Config{Debug: true, Tracer: tr})
+	_, ts := newTestServer(t, WithDebug(), WithTracer(tr))
 	d := counters.Dim(counters.Basic)
 	postPredict(t, ts, predictBody(t, d, 1))
 
@@ -86,7 +86,7 @@ func TestDebugTraceSnapshot(t *testing.T) {
 }
 
 func TestDebugTraceWithoutTracer(t *testing.T) {
-	_, ts := newTestServer(t, Config{Debug: true})
+	_, ts := newTestServer(t, WithDebug())
 	resp, err := http.Get(ts.URL + "/debug/trace")
 	if err != nil {
 		t.Fatal(err)
@@ -98,7 +98,7 @@ func TestDebugTraceWithoutTracer(t *testing.T) {
 }
 
 func TestDebugPprofIndex(t *testing.T) {
-	_, ts := newTestServer(t, Config{Debug: true})
+	_, ts := newTestServer(t, WithDebug())
 	resp, err := http.Get(ts.URL + "/debug/pprof/")
 	if err != nil {
 		t.Fatal(err)
@@ -116,7 +116,7 @@ func TestDebugPprofIndex(t *testing.T) {
 func TestMetricsIncludesProcessRegistry(t *testing.T) {
 	c := obs.DefaultRegistry().Counter("repro_obs_test_total", "Test-only counter.")
 	c.Inc()
-	s, _ := newTestServer(t, Config{})
+	s, _ := newTestServer(t)
 	text := s.MetricsText()
 	if !strings.Contains(text, "adaptd_requests_total") {
 		t.Error("server series missing from /metrics text")

@@ -4,24 +4,37 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/stats"
 )
 
-// LoadGen is a deterministic, seeded load generator: it replays a fixed
-// request schedule (feature vectors drawn from a pool with a seeded PCG)
-// against a running server, so a loadgen run doubles as a reproducible
-// throughput/latency benchmark — the same seed always issues the same
-// requests in the same per-worker order.
+// LoadGen is a deterministic, seeded load generator. It fixes the entire
+// request schedule up front — arrival times, feature vectors, admission
+// classes — as a pure function of the seed, then replays it against a
+// running server, so a loadgen run doubles as a reproducible benchmark:
+// the same seed always issues the same requests with the same class mix
+// (only the measured timings differ between runs).
+//
+// Two replay modes. The default closed loop ("closed") keeps Concurrency
+// workers busy back-to-back — throughput is bounded by the server, so an
+// overloaded server just slows the generator down. The open loop ("open")
+// dispatches each request at its scheduled arrival time regardless of
+// whether earlier ones finished — the offered load stays at RPS even when
+// the server cannot keep up, which is what exposes queueing, saturation
+// and admission shedding the way production traffic does.
 type LoadGen struct {
 	// Requests is the total number of predict calls to issue.
 	Requests int
-	// Concurrency is the number of worker goroutines. Keep it at or below
-	// the server's MaxInflight for a zero-429 run.
+	// Concurrency is the number of closed-loop worker goroutines. Keep it
+	// at or below the server's MaxInflight for a zero-429 run. Open-loop
+	// runs ignore it (concurrency there is however many arrivals overlap).
 	Concurrency int
 	// Seed drives the request schedule.
 	Seed uint64
@@ -32,18 +45,177 @@ type LoadGen struct {
 	// size (the final one may be smaller): each POST carries Batch feature
 	// vectors and streams back one result document per vector. All report
 	// counts stay per-vector, so batched and unbatched runs compare
-	// directly.
+	// directly. Batched runs are closed-loop and all-interactive (one
+	// class per POST).
 	Batch int
+
+	// Mode selects the replay discipline: "closed" (default) or "open".
+	Mode string
+	// RPS is the open-loop target arrival rate (required when Mode is
+	// "open", ignored otherwise).
+	RPS float64
+	// Arrivals selects the open-loop inter-arrival law: "poisson"
+	// (default; exponential gaps) or "pareto" (heavy-tailed bursts,
+	// alpha = 1.5 with the same mean gap).
+	Arrivals string
+	// ZipfS, when > 0, skews pool selection with a Zipf(s) popularity law
+	// (lower indices are hotter) instead of uniform draws — phases repeat
+	// in practice, and a skewed pool exercises the decision cache the way
+	// production traffic would.
+	ZipfS float64
+	// Mix is the per-class share of the schedule; a zero Mix means
+	// DefaultClassMix. Shares are normalised, so they need not sum to 1.
+	Mix ClassMix
+}
+
+// ClassMix is the per-class share of generated requests, indexed by Class.
+type ClassMix [NumClasses]float64
+
+// DefaultClassMix is the fleet-shaped default: mostly interactive, a
+// batch share, a background trickle.
+func DefaultClassMix() ClassMix {
+	var m ClassMix
+	m[ClassInteractive] = 0.7
+	m[ClassBatch] = 0.2
+	m[ClassBackground] = 0.1
+	return m
+}
+
+// Arrival is one scheduled request: when it is dispatched (offset from
+// the run start; always 0 in closed mode), which pool vector it carries,
+// and its admission class.
+type Arrival struct {
+	At    time.Duration
+	Index int
+	Class Class
+}
+
+// loadgenStream is the PCG stream constant for the request schedule.
+const loadgenStream = 0x10ad6e4
+
+// Schedule fixes the run's request schedule: a pure function of the
+// LoadGen configuration, independent of the server and of wall-clock
+// time. Run replays exactly this schedule; tests and reports can audit it.
+func (lg LoadGen) Schedule() ([]Arrival, error) {
+	if len(lg.Pool) == 0 {
+		return nil, fmt.Errorf("serve: loadgen needs a non-empty feature pool")
+	}
+	n := lg.Requests
+	if n <= 0 {
+		n = 1000
+	}
+	open := false
+	switch lg.Mode {
+	case "", "closed":
+	case "open":
+		open = true
+		if lg.RPS <= 0 {
+			return nil, fmt.Errorf("serve: open-loop loadgen needs -rps > 0")
+		}
+		if lg.Batch > 1 {
+			return nil, fmt.Errorf("serve: open-loop loadgen does not support batch payloads")
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown loadgen mode %q (want closed or open)", lg.Mode)
+	}
+	pareto := false
+	switch lg.Arrivals {
+	case "", "poisson":
+	case "pareto":
+		pareto = true
+	default:
+		return nil, fmt.Errorf("serve: unknown arrival law %q (want poisson or pareto)", lg.Arrivals)
+	}
+
+	// Zipf popularity over pool indices via the inverse CDF: cumulative
+	// weights once, a binary search per draw. ZipfS <= 0 keeps the legacy
+	// uniform draws (and their exact rng consumption).
+	var cum []float64
+	if lg.ZipfS > 0 {
+		cum = make([]float64, len(lg.Pool))
+		total := 0.0
+		for i := range cum {
+			total += math.Pow(float64(i+1), -lg.ZipfS)
+			cum[i] = total
+		}
+	}
+
+	mix := lg.Mix
+	if mix == (ClassMix{}) {
+		mix = DefaultClassMix()
+	}
+	var mixCum [NumClasses]float64
+	mixTotal := 0.0
+	for c := Class(0); c < NumClasses; c++ {
+		if mix[c] < 0 {
+			return nil, fmt.Errorf("serve: negative class mix share for %s", c)
+		}
+		mixTotal += mix[c]
+		mixCum[c] = mixTotal
+	}
+	if mixTotal <= 0 {
+		return nil, fmt.Errorf("serve: class mix has no positive share")
+	}
+
+	// Per arrival the rng is consumed in a fixed order — gap (open mode
+	// only), pool index, class (unbatched only) — so every configuration
+	// knob changes the schedule deterministically.
+	rng := rand.New(rand.NewPCG(lg.Seed, loadgenStream))
+	mean := 0.0
+	if open {
+		mean = 1 / lg.RPS
+	}
+	const paretoAlpha = 1.5
+	arrivals := make([]Arrival, n)
+	at := 0.0
+	for i := range arrivals {
+		if open {
+			var gap float64
+			if pareto {
+				// Pareto(alpha, xm) with xm chosen so the mean gap is
+				// 1/RPS; one gap is capped at 100 means so a single
+				// astronomical draw cannot stall the whole run.
+				xm := mean * (paretoAlpha - 1) / paretoAlpha
+				gap = xm / math.Pow(1-rng.Float64(), 1/paretoAlpha)
+				gap = math.Min(gap, 100*mean)
+			} else {
+				gap = rng.ExpFloat64() * mean
+			}
+			at += gap
+			arrivals[i].At = time.Duration(at * float64(time.Second))
+		}
+		if cum != nil {
+			u := rng.Float64() * cum[len(cum)-1]
+			arrivals[i].Index = sort.SearchFloat64s(cum, u)
+		} else {
+			arrivals[i].Index = rng.IntN(len(lg.Pool))
+		}
+		if lg.Batch > 1 {
+			arrivals[i].Class = ClassInteractive
+		} else {
+			u := rng.Float64() * mixTotal
+			c := ClassInteractive
+			for k := Class(0); k < NumClasses; k++ {
+				if u < mixCum[k] {
+					c = k
+					break
+				}
+			}
+			arrivals[i].Class = c
+		}
+	}
+	return arrivals, nil
 }
 
 // LoadReport aggregates one load-generation run. The count fields are a
-// pure function of (Seed, Requests, Pool) and the server's limits; the
-// latency fields are wall-clock measurements.
+// pure function of (Seed, Requests, Pool, Mix) and the server's limits;
+// the latency fields are wall-clock measurements.
 type LoadReport struct {
 	Requests  int // predictions issued (batch items count individually)
 	Batches   int // HTTP calls that carried a batch payload (0 unbatched)
 	OK        int // 200
-	Rejected  int // 429 (saturation backpressure)
+	Shed      int // 429 by admission control (X-Adaptd-Shed present)
+	Rejected  int // 429 by the concurrency limiter
 	ClientErr int // other 4xx
 	ServerErr int // 5xx
 	Transport int // transport-level failures (and truncated batch streams)
@@ -52,17 +224,40 @@ type LoadReport struct {
 	Elapsed        time.Duration
 	P50, P95, Max  time.Duration
 	RequestsPerSec float64 // predictions per second
+
+	// Classes breaks the run down per admission class, most important
+	// class first; empty rows are omitted.
+	Classes []ClassReport
+}
+
+// ClassReport is one admission class's slice of the run.
+type ClassReport struct {
+	Class     string
+	Requests  int
+	OK        int
+	Shed      int
+	Rejected  int
+	Errors    int // client + server + transport
+	CacheHits int
+	P50, P99  time.Duration
 }
 
 // String renders the report; the first line is deterministic for a seeded
 // run against an unsaturated server.
 func (r LoadReport) String() string {
-	return fmt.Sprintf(
-		"requests=%d ok=%d rejected=%d clientErr=%d serverErr=%d transportErr=%d batches=%d\n"+
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		"requests=%d ok=%d rejected=%d clientErr=%d serverErr=%d transportErr=%d batches=%d shed=%d\n"+
 			"throughput=%.0f pred/s  p50=%v p95=%v max=%v  cacheHits=%d",
-		r.Requests, r.OK, r.Rejected, r.ClientErr, r.ServerErr, r.Transport, r.Batches,
+		r.Requests, r.OK, r.Rejected, r.ClientErr, r.ServerErr, r.Transport, r.Batches, r.Shed,
 		r.RequestsPerSec, r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
 		r.Max.Round(time.Microsecond), r.CacheHits)
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, "\nclass %-12s requests=%d ok=%d shed=%d rejected=%d errors=%d cacheHits=%d p50=%v p99=%v",
+			c.Class, c.Requests, c.OK, c.Shed, c.Rejected, c.Errors, c.CacheHits,
+			c.P50.Round(time.Microsecond), c.P99.Round(time.Microsecond))
+	}
+	return b.String()
 }
 
 // SyntheticFeatures builds n deterministic pseudo-feature vectors of the
@@ -83,48 +278,61 @@ func SyntheticFeatures(dim, n int, seed uint64) [][]float64 {
 	return pool
 }
 
+// loadgenJob is one HTTP call of the replay.
+type loadgenJob struct {
+	body  []byte
+	items int
+	batch bool
+	class Class
+	at    time.Duration
+}
+
+// loadgenTally accumulates outcomes under one mutex (the generator is not
+// the thing under measurement).
+type loadgenTally struct {
+	mu        sync.Mutex
+	rep       LoadReport
+	latencies []float64
+	perClass  [NumClasses]struct {
+		r         ClassReport
+		latencies []float64
+	}
+}
+
 // Run replays the schedule against baseURL (e.g. "http://127.0.0.1:8080")
 // using client (http.DefaultClient if nil) and aggregates the outcome.
 func (lg LoadGen) Run(baseURL string, client *http.Client) (LoadReport, error) {
-	if len(lg.Pool) == 0 {
-		return LoadReport{}, fmt.Errorf("serve: loadgen needs a non-empty feature pool")
-	}
-	if lg.Requests <= 0 {
-		lg.Requests = 1000
-	}
-	if lg.Concurrency <= 0 {
-		lg.Concurrency = 4
+	schedule, err := lg.Schedule()
+	if err != nil {
+		return LoadReport{}, err
 	}
 	if client == nil {
 		client = http.DefaultClient
+		if lg.Mode == "open" {
+			// The open loop runs as many connections as arrivals overlap;
+			// the default transport keeps only 2 idle conns per host and
+			// would churn sockets under burst.
+			tr := http.DefaultTransport.(*http.Transport).Clone()
+			tr.MaxIdleConnsPerHost = 256
+			client = &http.Client{Transport: tr}
+		}
 	}
 
-	// Pre-encode every request body and fix the whole schedule up front,
-	// so the request stream is a pure function of (Seed, Requests, Pool,
-	// Batch) regardless of worker interleaving.
-	rng := rand.New(rand.NewPCG(lg.Seed, 0x10ad6e4))
-	schedule := make([]int, lg.Requests)
-	for i := range schedule {
-		schedule[i] = rng.IntN(len(lg.Pool))
-	}
-	type job struct {
-		body  []byte
-		items int
-		batch bool
-	}
-	var jobsList []job
+	// Pre-encode every request body up front, so the request stream is a
+	// pure function of the configuration regardless of interleaving.
+	var jobsList []loadgenJob
 	if lg.Batch > 1 {
 		for start := 0; start < len(schedule); start += lg.Batch {
 			end := min(start+lg.Batch, len(schedule))
 			b := make([][]float64, 0, end-start)
-			for _, idx := range schedule[start:end] {
-				b = append(b, lg.Pool[idx])
+			for _, a := range schedule[start:end] {
+				b = append(b, lg.Pool[a.Index])
 			}
 			body, err := json.Marshal(PredictRequest{Batch: b})
 			if err != nil {
 				return LoadReport{}, err
 			}
-			jobsList = append(jobsList, job{body: body, items: end - start, batch: true})
+			jobsList = append(jobsList, loadgenJob{body: body, items: end - start, batch: true, class: ClassInteractive})
 		}
 	} else {
 		bodies := make([][]byte, len(lg.Pool))
@@ -135,87 +343,142 @@ func (lg LoadGen) Run(baseURL string, client *http.Client) (LoadReport, error) {
 			}
 			bodies[i] = b
 		}
-		for _, idx := range schedule {
-			jobsList = append(jobsList, job{body: bodies[idx], items: 1})
+		for _, a := range schedule {
+			jobsList = append(jobsList, loadgenJob{body: bodies[a.Index], items: 1, class: a.Class, at: a.At})
 		}
 	}
 
-	var (
-		mu        sync.Mutex
-		rep       LoadReport
-		latencies []float64
-	)
+	tally := &loadgenTally{}
 	url := baseURL + "/v1/predict"
-	jobs := make(chan job)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for w := 0; w < lg.Concurrency; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(j.body))
-				lat := time.Since(t0)
-				mu.Lock()
-				rep.Requests += j.items
-				if j.batch {
-					rep.Batches++
-				}
-				latencies = append(latencies, float64(lat))
-				if err != nil {
-					rep.Transport += j.items
-					mu.Unlock()
-					continue
-				}
-				switch {
-				case resp.StatusCode == http.StatusOK:
-					// Single responses are one JSON document; batch
-					// responses stream one per item. The same decode loop
-					// reads both. Only the cached flag is inspected, so the
-					// decode target skips the config/probability maps and
-					// the client stays cheap relative to the server under
-					// measurement.
-					dec := json.NewDecoder(resp.Body)
-					n := 0
-					for n < j.items {
-						var pr struct {
-							Cached bool `json:"cached"`
-						}
-						if dec.Decode(&pr) != nil {
-							break
-						}
-						n++
-						if pr.Cached {
-							rep.CacheHits++
-						}
-					}
-					rep.OK += n
-					rep.Transport += j.items - n // truncated stream
-				case resp.StatusCode == http.StatusTooManyRequests:
-					rep.Rejected += j.items
-				case resp.StatusCode >= 500:
-					rep.ServerErr += j.items
-				default:
-					rep.ClientErr += j.items
-				}
-				mu.Unlock()
-				resp.Body.Close()
+	if lg.Mode == "open" {
+		// Open loop: fire each request at its scheduled arrival offset, on
+		// its own goroutine, whether or not earlier ones have finished.
+		for _, j := range jobsList {
+			if wait := j.at - time.Since(start); wait > 0 {
+				time.Sleep(wait)
 			}
-		}()
+			wg.Add(1)
+			go func(j loadgenJob) {
+				defer wg.Done()
+				lg.do(client, url, j, tally)
+			}(j)
+		}
+	} else {
+		conc := lg.Concurrency
+		if conc <= 0 {
+			conc = 4
+		}
+		jobs := make(chan loadgenJob)
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					lg.do(client, url, j, tally)
+				}
+			}()
+		}
+		for _, j := range jobsList {
+			jobs <- j
+		}
+		close(jobs)
 	}
-	for _, j := range jobsList {
-		jobs <- j
-	}
-	close(jobs)
 	wg.Wait()
 
+	rep := tally.rep
 	rep.Elapsed = time.Since(start)
 	if rep.Elapsed > 0 {
 		rep.RequestsPerSec = float64(rep.Requests) / rep.Elapsed.Seconds()
 	}
-	rep.P50 = time.Duration(stats.Quantile(latencies, 0.50))
-	rep.P95 = time.Duration(stats.Quantile(latencies, 0.95))
-	rep.Max = time.Duration(stats.Quantile(latencies, 1))
+	rep.P50 = time.Duration(stats.Quantile(tally.latencies, 0.50))
+	rep.P95 = time.Duration(stats.Quantile(tally.latencies, 0.95))
+	rep.Max = time.Duration(stats.Quantile(tally.latencies, 1))
+	for c := NumClasses; c > 0; {
+		c--
+		pc := &tally.perClass[c]
+		if pc.r.Requests == 0 {
+			continue
+		}
+		pc.r.Class = c.String()
+		pc.r.P50 = time.Duration(stats.Quantile(pc.latencies, 0.50))
+		pc.r.P99 = time.Duration(stats.Quantile(pc.latencies, 0.99))
+		rep.Classes = append(rep.Classes, pc.r)
+	}
 	return rep, nil
+}
+
+// do issues one HTTP call and records its outcome.
+func (lg LoadGen) do(client *http.Client, url string, j loadgenJob, tally *loadgenTally) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(j.body))
+	if err == nil {
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-Class", j.class.String())
+	}
+	t0 := time.Now()
+	var resp *http.Response
+	if err == nil {
+		resp, err = client.Do(req)
+	}
+	lat := time.Since(t0)
+
+	tally.mu.Lock()
+	defer tally.mu.Unlock()
+	rep := &tally.rep
+	pc := &tally.perClass[j.class]
+	rep.Requests += j.items
+	pc.r.Requests += j.items
+	if j.batch {
+		rep.Batches++
+	}
+	tally.latencies = append(tally.latencies, float64(lat))
+	pc.latencies = append(pc.latencies, float64(lat))
+	if err != nil {
+		rep.Transport += j.items
+		pc.r.Errors += j.items
+		return
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		// Single responses are one JSON document; batch responses stream
+		// one per item. The same decode loop reads both. Only the cached
+		// flag is inspected, so the decode target skips the
+		// config/probability maps and the client stays cheap relative to
+		// the server under measurement.
+		dec := json.NewDecoder(resp.Body)
+		n := 0
+		for n < j.items {
+			var pr struct {
+				Cached bool `json:"cached"`
+			}
+			if dec.Decode(&pr) != nil {
+				break
+			}
+			n++
+			if pr.Cached {
+				rep.CacheHits++
+				pc.r.CacheHits++
+			}
+		}
+		rep.OK += n
+		pc.r.OK += n
+		rep.Transport += j.items - n // truncated stream
+		pc.r.Errors += j.items - n
+	case resp.StatusCode == http.StatusTooManyRequests:
+		if resp.Header.Get(shedHeader) != "" {
+			rep.Shed += j.items
+			pc.r.Shed += j.items
+		} else {
+			rep.Rejected += j.items
+			pc.r.Rejected += j.items
+		}
+	case resp.StatusCode >= 500:
+		rep.ServerErr += j.items
+		pc.r.Errors += j.items
+	default:
+		rep.ClientErr += j.items
+		pc.r.Errors += j.items
+	}
 }

@@ -31,7 +31,7 @@ func TestSyntheticFeaturesDeterministic(t *testing.T) {
 
 func TestLoadGenDeterministicCounts(t *testing.T) {
 	run := func() LoadReport {
-		_, ts := newTestServer(t, Config{CacheSize: 64, MaxInflight: 32})
+		_, ts := newTestServer(t, WithCacheSize(64), WithMaxInflight(32))
 		lg := LoadGen{
 			Requests:    120,
 			Concurrency: 4,
@@ -94,5 +94,180 @@ func TestQuantizedAgreesWithFloatServer(t *testing.T) {
 	}
 	if frac := float64(agree) / float64(total); frac < 0.9 {
 		t.Errorf("quantized/float agreement %.1f%% (%d/%d), want >= 90%%", 100*frac, agree, total)
+	}
+}
+
+// TestLoadGenScheduleDeterministic: the schedule is a pure function of the
+// configuration — same seed, same arrivals; different seed, different ones.
+func TestLoadGenScheduleDeterministic(t *testing.T) {
+	lg := LoadGen{
+		Requests: 200,
+		Seed:     11,
+		Pool:     SyntheticFeatures(counters.Dim(counters.Basic), 32, 11),
+		Mode:     "open",
+		RPS:      500,
+		ZipfS:    1.1,
+	}
+	s1, err := lg.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := lg.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != 200 {
+		t.Fatalf("schedule length %d, want 200", len(s1))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("same seed diverged at arrival %d: %+v vs %+v", i, s1[i], s2[i])
+		}
+		if s1[i].Index < 0 || s1[i].Index >= 32 || s1[i].Class >= NumClasses {
+			t.Fatalf("arrival %d out of range: %+v", i, s1[i])
+		}
+		if i > 0 && s1[i].At < s1[i-1].At {
+			t.Fatalf("arrival times not monotone at %d", i)
+		}
+	}
+	lg.Seed = 12
+	s3, err := lg.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range s1 {
+		if s1[i] == s3[i] {
+			same++
+		}
+	}
+	if same == len(s1) {
+		t.Error("different seeds produced the identical schedule")
+	}
+	// Pareto arrivals draw a different (heavier-tailed) gap sequence.
+	lg.Seed = 11
+	lg.Arrivals = "pareto"
+	s4, err := lg.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4[len(s4)-1].At == s1[len(s1)-1].At {
+		t.Error("pareto arrivals identical to poisson")
+	}
+}
+
+// TestLoadGenScheduleClassMix: the default mix covers all classes roughly
+// proportionally, and a single-class mix stays single-class.
+func TestLoadGenScheduleClassMix(t *testing.T) {
+	lg := LoadGen{
+		Requests: 1000,
+		Seed:     3,
+		Pool:     SyntheticFeatures(counters.Dim(counters.Basic), 8, 3),
+	}
+	sched, err := lg.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts [NumClasses]int
+	for _, a := range sched {
+		counts[a.Class]++
+	}
+	if counts[ClassInteractive] < counts[ClassBatch] || counts[ClassBatch] < counts[ClassBackground] {
+		t.Errorf("default mix out of order: %v", counts)
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if counts[c] == 0 {
+			t.Errorf("class %s absent from default mix", c)
+		}
+	}
+	var mix ClassMix
+	mix[ClassBatch] = 1
+	lg.Mix = mix
+	sched, err = lg.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range sched {
+		if a.Class != ClassBatch {
+			t.Fatalf("single-class mix produced class %s", a.Class)
+		}
+	}
+}
+
+// TestLoadGenZipfSkew: a Zipf-skewed pool concentrates draws on the low
+// indices.
+func TestLoadGenZipfSkew(t *testing.T) {
+	lg := LoadGen{
+		Requests: 2000,
+		Seed:     4,
+		Pool:     SyntheticFeatures(counters.Dim(counters.Basic), 64, 4),
+		ZipfS:    1.2,
+	}
+	sched, err := lg.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 64)
+	for _, a := range sched {
+		counts[a.Index]++
+	}
+	head := counts[0] + counts[1] + counts[2] + counts[3]
+	if head < len(sched)/4 {
+		t.Errorf("zipf head (top 4 of 64) drew only %d of %d", head, len(sched))
+	}
+	if counts[0] <= counts[63] {
+		t.Errorf("index 0 (%d draws) not hotter than index 63 (%d)", counts[0], counts[63])
+	}
+}
+
+// TestLoadGenOpenLoopDeterministicCounts runs the open loop twice against
+// unsaturated servers: every count — total and per class — must repeat
+// exactly, with nothing shed or rejected.
+func TestLoadGenOpenLoopDeterministicCounts(t *testing.T) {
+	run := func() LoadReport {
+		_, ts := newTestServer(t, WithCacheSize(64), WithMaxInflight(64))
+		lg := LoadGen{
+			Requests: 150,
+			Seed:     42,
+			Pool:     SyntheticFeatures(counters.Dim(counters.Basic), 8, 42),
+			Mode:     "open",
+			RPS:      2000, // fast run; far below server capacity per-request
+			ZipfS:    1.1,
+		}
+		rep, err := lg.Run(ts.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1, r2 := run(), run()
+	if r1.Requests != 150 || r1.OK != 150 || r1.Shed != 0 || r1.Rejected != 0 || r1.Transport != 0 {
+		t.Fatalf("unexpected counts: %+v", r1)
+	}
+	if len(r1.Classes) != len(r2.Classes) {
+		t.Fatalf("class row counts differ: %d vs %d", len(r1.Classes), len(r2.Classes))
+	}
+	for i := range r1.Classes {
+		a, b := r1.Classes[i], r2.Classes[i]
+		if a.Class != b.Class || a.Requests != b.Requests || a.OK != b.OK || a.Shed != b.Shed {
+			t.Errorf("class row %d differs between seeded runs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestLoadGenValidation rejects inconsistent configurations.
+func TestLoadGenValidation(t *testing.T) {
+	pool := SyntheticFeatures(counters.Dim(counters.Basic), 2, 1)
+	cases := []LoadGen{
+		{Requests: 1, Pool: pool, Mode: "open"},                    // no RPS
+		{Requests: 1, Pool: pool, Mode: "open", RPS: 10, Batch: 4}, // open + batch
+		{Requests: 1, Pool: pool, Mode: "ajar"},                    // unknown mode
+		{Requests: 1, Pool: pool, Arrivals: "bursty"},              // unknown law
+		{Requests: 1, Pool: pool, Mix: ClassMix{0, -1, 0}},         // negative share
+	}
+	for i, lg := range cases {
+		if _, err := lg.Schedule(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, lg)
+		}
 	}
 }

@@ -22,7 +22,8 @@ const (
 // routePaths are the instrumented endpoints, in the order /v1/status
 // reports them.
 var routePaths = []string{
-	"/healthz", "/metrics", "/v1/designspace", "/v1/predict", "/v1/reload", "/v1/status",
+	"/healthz", "/metrics", "/v1/designspace", "/v1/models", "/v1/models/promote",
+	"/v1/predict", "/v1/reload", "/v1/status",
 }
 
 // latencyBuckets are the upper bounds (seconds) of the predict-latency
@@ -57,12 +58,19 @@ type metrics struct {
 	batchRequests *obs.Counter
 	batchItems    *obs.Counter
 	coalesced     *obs.Counter
+	promotes      *obs.Counter
+	classRequests *obs.CounterVec
+	shed          *obs.CounterVec
 
 	// routeLat holds one windowed latency histogram per known route —
 	// built once at construction, so the request path reads a plain map
 	// with no locking. Unknown paths (the debug mux) are simply not
 	// windowed; they still count in the request vec.
 	routeLat map[string]*obs.WindowedHistogram
+	// classLat windows admitted predict latency per admission class, so
+	// /v1/status can show who is actually meeting the SLO when shedding
+	// starts.
+	classLat [NumClasses]*obs.WindowedHistogram
 }
 
 // newMetrics builds the server's registry; cacheLen is sampled at
@@ -83,6 +91,9 @@ func newMetrics(cacheLen func() int) *metrics {
 		batchRequests: reg.Counter("adaptd_batch_requests_total", "Predict requests that carried a batch payload."),
 		batchItems:    reg.Counter("adaptd_batch_items_total", "Feature vectors received inside batch payloads."),
 		coalesced:     reg.Counter("adaptd_coalesced_total", "Single-vector predicts answered through the micro-batching coalescer."),
+		promotes:      reg.Counter("adaptd_promotes_total", "Shadow models promoted to active."),
+		classRequests: reg.CounterVec("adaptd_class_requests_total", "Predict requests received, by admission class.", "class"),
+		shed:          reg.CounterVec("adaptd_admission_shed_total", "Predict requests shed by admission control, by class and reason.", "class", "reason"),
 	}
 	reg.GaugeFunc("adaptd_cache_entries", "Current LRU cache entries.", func() float64 {
 		return float64(cacheLen())
@@ -91,7 +102,31 @@ func newMetrics(cacheLen func() int) *metrics {
 	for _, p := range routePaths {
 		m.routeLat[p] = obs.NewWindowedHistogram(sloMinLatency, sloMaxLatency, sloSubBuckets, sloWindow, sloSlots)
 	}
+	for c := Class(0); c < NumClasses; c++ {
+		m.classLat[c] = obs.NewWindowedHistogram(sloMinLatency, sloMaxLatency, sloSubBuckets, sloWindow, sloSlots)
+	}
 	return m
+}
+
+// registerShadow exposes the shadow evaluator's agreement stats as
+// registry series; the worker writes plain atomics and exposition samples
+// them, so the shadow path itself never touches the registry.
+func (m *metrics) registerShadow(st *shadowState) {
+	m.reg.GaugeFunc("adaptd_shadow_compared_total", "Decisions replayed on the shadow model.", func() float64 {
+		return float64(st.compared.Load())
+	})
+	m.reg.GaugeFunc("adaptd_shadow_dropped_total", "Shadow duplicates dropped on a full queue.", func() float64 {
+		return float64(st.dropped.Load())
+	})
+	m.reg.GaugeFunc("adaptd_shadow_param_agreement", "Per-parameter agreement rate between shadow and active decisions.", func() float64 {
+		if pt := st.paramTotal.Load(); pt > 0 {
+			return float64(st.paramAgree.Load()) / float64(pt)
+		}
+		return 0
+	})
+	m.reg.GaugeFunc("adaptd_shadow_decision_divergence_total", "Compared decisions where the shadow disagreed on at least one parameter.", func() float64 {
+		return float64(st.compared.Load() - st.matched.Load())
+	})
 }
 
 // observeLatency records one request's wall-clock seconds against its
@@ -105,6 +140,18 @@ func (m *metrics) observeLatency(path string, seconds float64) {
 // observeRequest counts one completed request.
 func (m *metrics) observeRequest(path string, code int) {
 	m.requests.With(path, strconv.Itoa(code)).Inc()
+}
+
+// observeClassLatency records one admitted predict's wall-clock seconds
+// against its admission class.
+func (m *metrics) observeClassLatency(c Class, seconds float64) {
+	m.classLat[c].Observe(seconds)
+}
+
+// predictP99 reads the current windowed /v1/predict p99 in seconds; it is
+// the signal SLO shedding defends.
+func (m *metrics) predictP99() float64 {
+	return m.routeLat["/v1/predict"].Quantile(0.99)
 }
 
 // hitRate returns hits/(hits+misses), 0 before any predict.

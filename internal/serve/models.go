@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// ActiveModel describes the serving engine on GET /v1/models.
+type ActiveModel struct {
+	Model  ModelInfo `json:"model"`
+	Source string    `json:"source,omitempty"`
+}
+
+// ModelsResponse is the GET /v1/models payload: the active engine and,
+// when one is loaded, the shadow candidate with its agreement stats.
+type ModelsResponse struct {
+	Active ActiveModel   `json:"active"`
+	Shadow *ShadowStatus `json:"shadow"`
+}
+
+// handleModels reports the active and shadow models.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, ModelsResponse{
+		Active: ActiveModel{
+			Model:  modelInfo(s.engine.Load()),
+			Source: s.ActiveSource(),
+		},
+		Shadow: s.shadow.status(),
+	})
+}
+
+// PromoteRequest is the POST /v1/models/promote payload. Both gates are
+// optional: an empty body promotes unconditionally. MinAgreement is the
+// per-parameter agreement rate the shadow must have reached; MinCompared
+// the number of duplicated decisions it must have been evaluated on
+// (agreement over a handful of requests proves nothing).
+type PromoteRequest struct {
+	MinAgreement float64 `json:"minAgreement,omitempty"`
+	MinCompared  uint64  `json:"minCompared,omitempty"`
+}
+
+// PromoteResponse reports a successful promotion.
+type PromoteResponse struct {
+	Promoted bool      `json:"promoted"`
+	Previous ModelInfo `json:"previous"`
+	Model    ModelInfo `json:"model"`
+	// Agreement and Compared snapshot the evidence the promotion was
+	// judged on.
+	Agreement float64 `json:"agreement"`
+	Compared  uint64  `json:"compared"`
+}
+
+// handlePromote atomically promotes the shadow to active through the same
+// hot-swap path as /v1/reload — in-flight requests finish on whichever
+// engine they loaded, the decision cache is purged, and the shadow slot
+// empties (its epoch stats reset with it). 409 without a shadow; 412 when
+// the caller's agreement evidence gates are not met.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req PromoteRequest
+	body := http.MaxBytesReader(w, r.Body, s.opt.maxBody)
+	// An empty body decodes as io.EOF and means "no gates".
+	if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return
+	}
+	st := s.shadow.status()
+	if st == nil {
+		writeError(w, http.StatusConflict, "no shadow model loaded; start adaptd with -shadow")
+		return
+	}
+	if req.MinCompared > 0 && st.Compared < req.MinCompared {
+		writeError(w, http.StatusPreconditionFailed,
+			"shadow evaluated on %d decisions, promotion requires %d", st.Compared, req.MinCompared)
+		return
+	}
+	if req.MinAgreement > 0 && st.ParamAgreement < req.MinAgreement {
+		writeError(w, http.StatusPreconditionFailed,
+			"shadow agreement %.4f below the %.4f promotion threshold (over %d decisions)",
+			st.ParamAgreement, req.MinAgreement, st.Compared)
+		return
+	}
+	prev := modelInfo(s.engine.Load())
+	sh := s.shadow.eng.Load()
+	s.Swap(sh)
+	s.setActiveSource(st.Source)
+	s.shadow.clear()
+	s.metrics.promotes.Inc()
+	writeJSON(w, http.StatusOK, PromoteResponse{
+		Promoted:  true,
+		Previous:  prev,
+		Model:     modelInfo(sh),
+		Agreement: st.ParamAgreement,
+		Compared:  st.Compared,
+	})
+}

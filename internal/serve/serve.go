@@ -8,11 +8,17 @@
 // The server is built for production shapes rather than batch use: an LRU
 // decision cache keyed by quantized feature vectors (phases repeat, so
 // decisions do too), lock-free engine hot-swap for zero-downtime model
-// reload, bounded concurrency with 429 backpressure, per-request timeouts
-// and body-size limits, and Prometheus-text metrics through the shared
-// internal/obs registry (the predict hot path records everything with
-// atomic counters — no mutex). Stdlib only, like the rest of the
-// repository.
+// reload, bounded concurrency with 429 backpressure, per-class admission
+// control that sheds the lowest class first under pressure, a shadow
+// slot that evaluates a candidate model on duplicated traffic strictly
+// off the request path, per-request timeouts and body-size limits, and
+// Prometheus-text metrics through the shared internal/obs registry (the
+// predict hot path records everything with atomic counters — no mutex).
+// Stdlib only, like the rest of the repository.
+//
+// Servers are composed with functional options: serve.New(engine,
+// serve.WithCacheSize(4096), serve.WithAdmission(cfg), ...) — the same
+// shape as experiment.Build.
 package serve
 
 import (
@@ -32,95 +38,80 @@ import (
 	"repro/internal/obs"
 )
 
-// Config bounds the server's resource use.
-type Config struct {
-	// ModelPath is the predictor file re-read by POST /v1/reload; empty
-	// disables reload.
-	ModelPath string
-	// Quantized routes decisions through the 8-bit weights (§VIII).
-	Quantized bool
-	// CacheSize is the LRU decision-cache capacity; <= 0 disables it.
-	CacheSize int
-	// MaxBody is the request-body byte limit (default 1 MiB).
-	MaxBody int64
-	// Timeout is the per-request handler deadline (default 5s).
-	Timeout time.Duration
-	// MaxInflight bounds concurrent predict requests; excess requests are
-	// rejected with 429 (default 64).
-	MaxInflight int
-	// CoalesceWindow enables server-side micro-batching: single-vector
-	// predicts that miss the decision cache are held up to this long and
-	// evaluated together in one batched kernel call. 0 disables
-	// coalescing. Grouping is timing-dependent; results are not — every
-	// response is byte-identical to the unbatched path.
-	CoalesceWindow time.Duration
-	// CoalesceMax caps the vectors per coalesced kernel call (default 64).
-	CoalesceMax int
-	// Debug mounts the introspection endpoints on the handler: pprof
-	// under /debug/pprof/, an expvar-style metrics snapshot at
-	// /debug/vars, and (with a Tracer) a Chrome trace_event snapshot at
-	// /debug/trace. Off by default; the debug mux bypasses the
-	// per-request timeout because CPU profiles run for tens of seconds.
-	Debug bool
-	// Tracer, when non-nil, records one detached span per request (only
-	// while the tracer is enabled) and backs /debug/trace.
-	Tracer *obs.Tracer
-}
-
-// withDefaults fills unset fields.
-func (c Config) withDefaults() Config {
-	if c.MaxBody <= 0 {
-		c.MaxBody = 1 << 20
-	}
-	if c.Timeout <= 0 {
-		c.Timeout = 5 * time.Second
-	}
-	if c.MaxInflight <= 0 {
-		c.MaxInflight = 64
-	}
-	return c
-}
-
 // Server serves one hot-swappable Engine.
 type Server struct {
-	cfg     Config
+	opt     options
 	engine  atomic.Pointer[Engine]
 	cache   *decisionCache
 	metrics *metrics
 	co      *coalescer
+	adm     *admission
+	shadow  *shadowState
 	sem     chan struct{}
 	start   time.Time
+	source  atomic.Pointer[string] // where the active engine came from
 }
 
-// New returns a server for the given engine.
-func New(e *Engine, cfg Config) *Server {
-	cfg = cfg.withDefaults()
+// New returns a server for the given engine, configured by options; see
+// the With* constructors. The zero-option server uses the defaults
+// documented on each option.
+func New(e *Engine, opts ...Option) *Server {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	o = o.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: newDecisionCache(cfg.CacheSize),
-		sem:   make(chan struct{}, cfg.MaxInflight),
+		opt:   o,
+		cache: newDecisionCache(o.cacheSize),
+		sem:   make(chan struct{}, o.maxInflight),
 		start: time.Now(),
 	}
 	s.metrics = newMetrics(s.cache.len)
 	s.engine.Store(e)
-	if cfg.CoalesceWindow > 0 {
-		s.co = newCoalescer(cfg.CoalesceWindow, cfg.CoalesceMax, s.metrics, cfg.Tracer)
+	s.setActiveSource(o.activeSource)
+	if o.coWindow > 0 {
+		s.co = newCoalescer(o.coWindow, o.coMax, s.metrics, o.tracer)
+	}
+	if o.admission != nil {
+		s.adm = newAdmission(*o.admission, o.maxInflight, func() float64 {
+			return s.metrics.predictP99()
+		})
+	}
+	if o.shadow != nil {
+		s.shadow = newShadowState(o.shadow, o.shadowSource, o.shadowQueue, s.Engine)
+		s.metrics.registerShadow(s.shadow)
 	}
 	return s
 }
 
-// Close stops the coalescer's dispatcher goroutine, if one was started.
-// The server keeps answering (in-flight and later coalesced requests fall
-// back to the direct kernel); Close is goroutine hygiene for shutdown and
-// tests, not a way to refuse traffic.
+// Close stops the coalescer's dispatcher and the shadow worker, if they
+// were started. The server keeps answering (in-flight and later coalesced
+// requests fall back to the direct kernel; shadow duplicates queue until
+// full, then drop); Close is goroutine hygiene for shutdown and tests,
+// not a way to refuse traffic.
 func (s *Server) Close() {
 	if s.co != nil {
 		s.co.close()
+	}
+	if s.shadow != nil {
+		s.shadow.close()
 	}
 }
 
 // Engine returns the currently serving engine.
 func (s *Server) Engine() *Engine { return s.engine.Load() }
+
+// ActiveSource names where the active engine was loaded from ("" when
+// unknown).
+func (s *Server) ActiveSource() string {
+	if p := s.source.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+func (s *Server) setActiveSource(src string) { s.source.Store(&src) }
 
 // Swap atomically replaces the serving engine and purges the decision
 // cache (the new model's decisions may differ for identical features).
@@ -143,18 +134,20 @@ func (s *Server) MetricsText() string {
 }
 
 // Handler returns the service's HTTP handler: every endpoint, wrapped with
-// request accounting and the per-request timeout. With Config.Debug the
+// request accounting and the per-request timeout. With WithDebug the
 // introspection endpoints are mounted alongside, outside the timeout.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", s.instrument("/v1/predict", s.handlePredict))
 	mux.HandleFunc("/v1/designspace", s.instrument("/v1/designspace", s.handleDesignSpace))
 	mux.HandleFunc("/v1/reload", s.instrument("/v1/reload", s.handleReload))
+	mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModels))
+	mux.HandleFunc("/v1/models/promote", s.instrument("/v1/models/promote", s.handlePromote))
 	mux.HandleFunc("/v1/status", s.instrument("/v1/status", s.handleStatus))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
-	h := http.TimeoutHandler(mux, s.cfg.Timeout, "{\n  \"error\": \"request deadline exceeded\"\n}\n")
-	if !s.cfg.Debug {
+	h := http.TimeoutHandler(mux, s.opt.timeout, "{\n  \"error\": \"request deadline exceeded\"\n}\n")
+	if !s.opt.debug {
 		return h
 	}
 	return s.debugHandler(h)
@@ -177,8 +170,8 @@ func (w *statusWriter) WriteHeader(code int) {
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var sp *obs.Span
-		if s.cfg.Tracer != nil {
-			sp = s.cfg.Tracer.StartDetached("http " + path)
+		if s.opt.tracer != nil {
+			sp = s.opt.tracer.StartDetached("http " + path)
 		}
 		started := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
@@ -225,11 +218,13 @@ func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 // PredictRequest is the POST /v1/predict payload: either one counter
 // feature vector (Features) or several (Batch) — never both — optionally
 // tagged with the counter set they were built from so the server can
-// reject features from the wrong encoding.
+// reject features from the wrong encoding, and with an admission class
+// (the X-Request-Class header wins when both are present).
 type PredictRequest struct {
 	Features []float64   `json:"features,omitempty"`
 	Batch    [][]float64 `json:"batch,omitempty"`
 	Set      string      `json:"set,omitempty"`
+	Class    string      `json:"class,omitempty"`
 }
 
 // PredictResponse is the decision: the predicted configuration (parameter
@@ -244,34 +239,66 @@ type PredictResponse struct {
 	Cached        bool                 `json:"cached"`
 }
 
+// shedHeader tells shed clients (and the load generator) which class was
+// refused and why, without parsing the error body.
+const shedHeader = "X-Adaptd-Shed"
+
 // handlePredict answers one feature vector — or a batch of them — with
-// configuration decisions.
+// configuration decisions. The pipeline is: decode, resolve the admission
+// class, per-class admission (shed with 429 + X-Adaptd-Shed), the shared
+// concurrency semaphore (429 when saturated), then the kernel. Admission
+// runs ahead of the semaphore so a shed costs a JSON decode, never a
+// slot.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !allowMethod(w, r, http.MethodPost) {
-		return
-	}
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	default:
-		s.metrics.saturated.Inc()
-		writeError(w, http.StatusTooManyRequests, "server saturated (%d predicts in flight); retry", s.cfg.MaxInflight)
 		return
 	}
 	started := time.Now()
 
 	var req PredictRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	body := http.MaxBytesReader(w, r.Body, s.opt.maxBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.cfg.MaxBody)
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.opt.maxBody)
 			return
 		}
 		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
 		return
 	}
 	wantProbs := r.URL.Query().Get("probs") == "1"
+
+	name := r.Header.Get("X-Request-Class")
+	if name == "" {
+		name = req.Class
+	}
+	class, ok := ParseClass(name)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown request class %q (want interactive, batch or background)", name)
+		return
+	}
+	s.metrics.classRequests.With(class.String()).Inc()
+	if s.adm != nil {
+		release, reason := s.adm.admit(class)
+		if release == nil {
+			s.metrics.shed.With(class.String(), reason).Inc()
+			w.Header().Set(shedHeader, class.String()+":"+reason)
+			writeError(w, http.StatusTooManyRequests, "request class %q shed (%s); retry", class, reason)
+			return
+		}
+		defer release()
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.metrics.saturated.Inc()
+		writeError(w, http.StatusTooManyRequests, "server saturated (%d predicts in flight); retry", s.opt.maxInflight)
+		return
+	}
+	defer func() {
+		s.metrics.observeClassLatency(class, time.Since(started).Seconds())
+	}()
 
 	eng := s.engine.Load()
 	if req.Set != "" && req.Set != eng.Set().String() {
@@ -299,11 +326,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 }
 
 // resolveSingle answers one feature vector through the decision cache and,
-// on a miss, the coalescer (when enabled) or the direct kernel.
+// on a miss, the coalescer (when enabled) or the direct kernel. Every
+// resolved decision — hit or miss — is duplicated to the shadow evaluator
+// with a non-blocking enqueue; the primary path never waits on it.
 func (s *Server) resolveSingle(eng *Engine, features []float64) (entry *cacheEntry, hit bool) {
-	key := cacheKey(features)
-	if entry, hit := s.cache.get(key); hit && entry.eng == eng {
+	if entry, hit := s.cache.get(cacheKey(features)); hit && entry.eng == eng {
 		s.metrics.hits.Inc()
+		if s.shadow != nil {
+			s.shadow.observe(eng, features, entry.config)
+		}
 		return entry, true
 	}
 	var cfg arch.Config
@@ -314,9 +345,12 @@ func (s *Server) resolveSingle(eng *Engine, features []float64) (entry *cacheEnt
 	} else {
 		cfg, probs = eng.Predict(features)
 	}
-	entry = &cacheEntry{key: key, eng: eng, config: cfg, probs: probs}
+	entry = &cacheEntry{key: cacheKey(features), eng: eng, config: cfg, probs: probs}
 	s.cache.put(entry)
 	s.metrics.misses.Inc()
+	if s.shadow != nil {
+		s.shadow.observe(eng, features, cfg)
+	}
 	return entry, false
 }
 
@@ -379,8 +413,8 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, eng *Engine, batch []
 
 	if len(missFeats) > 0 {
 		var sp *obs.Span
-		if s.cfg.Tracer != nil {
-			sp = s.cfg.Tracer.StartDetached("predict batch")
+		if s.opt.tracer != nil {
+			sp = s.opt.tracer.StartDetached("predict batch")
 		}
 		configs, probs := eng.PredictBatch(missFeats)
 		if sp != nil {
@@ -393,6 +427,13 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, eng *Engine, batch []
 			entry.probs = probs[i]
 			s.cache.put(entry)
 			s.metrics.misses.Inc()
+		}
+	}
+	if s.shadow != nil {
+		// Duplicate after the response is fully resolved: one enqueue per
+		// item, hits included, so shadow coverage matches primary traffic.
+		for i, f := range batch {
+			s.shadow.observe(eng, f, slots[i].entry.config)
 		}
 	}
 
@@ -528,16 +569,18 @@ type ReloadResponse struct {
 	Model    ModelInfo `json:"model"`
 }
 
-// handleReload re-reads the model file and swaps it in atomically.
+// handleReload re-reads the model file and swaps it in atomically. The
+// quantized mode follows the engine being replaced, so a reload never
+// silently changes the weight format.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
-	if s.cfg.ModelPath == "" {
+	if s.opt.modelPath == "" {
 		writeError(w, http.StatusConflict, "server has no -model path; reload disabled")
 		return
 	}
-	f, err := os.Open(s.cfg.ModelPath)
+	f, err := os.Open(s.opt.modelPath)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "opening model file: %v", err)
 		return
@@ -548,12 +591,13 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "loading model: %v", err)
 		return
 	}
-	eng, err := NewEngine(pred, s.cfg.Quantized)
+	eng, err := NewEngine(pred, s.engine.Load().Quantized())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "building engine: %v", err)
 		return
 	}
 	s.Swap(eng)
+	s.setActiveSource(s.opt.modelPath)
 	s.metrics.reloads.Inc()
 	writeJSON(w, http.StatusOK, ReloadResponse{
 		Reloaded: true,

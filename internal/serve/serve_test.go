@@ -46,14 +46,20 @@ func trainTestPredictor(t testing.TB, set counters.Set) *core.Predictor {
 
 // newTestServer boots a server (basic counters: small feature dimension)
 // and its httptest frontend.
-func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+func newTestServer(t testing.TB, opts ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	return newTestServerQ(t, false, opts...)
+}
+
+// newTestServerQ is newTestServer with an explicit weight format.
+func newTestServerQ(t testing.TB, quantized bool, opts ...Option) (*Server, *httptest.Server) {
 	t.Helper()
 	pred := trainTestPredictor(t, counters.Basic)
-	eng, err := NewEngine(pred, cfg.Quantized)
+	eng, err := NewEngine(pred, quantized)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(eng, cfg)
+	s := New(eng, opts...)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	t.Cleanup(s.Close)
@@ -94,7 +100,7 @@ func postPredict(t testing.TB, ts *httptest.Server, body []byte) (*http.Response
 }
 
 func TestPredictReturnsValidConfig(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t)
 	d := counters.Dim(counters.Basic)
 	resp, data := postPath(t, ts, "/v1/predict?probs=1", predictBody(t, d, 1))
 	if resp.StatusCode != http.StatusOK {
@@ -138,7 +144,7 @@ func TestPredictReturnsValidConfig(t *testing.T) {
 // ?probs=1: the default response omits the field entirely, and the opted-in
 // body is unchanged by the flag's existence for everything else.
 func TestPredictProbabilitiesOptIn(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t)
 	d := counters.Dim(counters.Basic)
 	body := predictBody(t, d, 1)
 	_, plain := postPredict(t, ts, body)
@@ -169,7 +175,7 @@ func TestPredictProbabilitiesOptIn(t *testing.T) {
 }
 
 func TestPredictCacheHitOnRepeat(t *testing.T) {
-	s, ts := newTestServer(t, Config{CacheSize: 16})
+	s, ts := newTestServer(t, WithCacheSize(16))
 	d := counters.Dim(counters.Basic)
 	body := predictBody(t, d, 0.5)
 	_, first := postPredict(t, ts, body)
@@ -198,7 +204,7 @@ func TestPredictCacheHitOnRepeat(t *testing.T) {
 }
 
 func TestPredictMalformedJSON(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t)
 	resp, data := postPredict(t, ts, []byte(`{"features": [1, 2,`))
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d for malformed JSON: %s", resp.StatusCode, data)
@@ -210,7 +216,7 @@ func TestPredictMalformedJSON(t *testing.T) {
 }
 
 func TestPredictWrongDimension(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t)
 	b, _ := json.Marshal(PredictRequest{Features: []float64{1, 2, 3}})
 	resp, data := postPredict(t, ts, b)
 	if resp.StatusCode != http.StatusBadRequest {
@@ -222,7 +228,7 @@ func TestPredictWrongDimension(t *testing.T) {
 }
 
 func TestPredictWrongSetTag(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t)
 	d := counters.Dim(counters.Basic)
 	f := make([]float64, d)
 	b, _ := json.Marshal(PredictRequest{Features: f, Set: "advanced"})
@@ -233,7 +239,7 @@ func TestPredictWrongSetTag(t *testing.T) {
 }
 
 func TestPredictOversizedBody(t *testing.T) {
-	_, ts := newTestServer(t, Config{MaxBody: 256})
+	_, ts := newTestServer(t, WithMaxBody(256))
 	big := make([]float64, 4096)
 	b, _ := json.Marshal(PredictRequest{Features: big})
 	resp, data := postPredict(t, ts, b)
@@ -243,7 +249,7 @@ func TestPredictOversizedBody(t *testing.T) {
 }
 
 func TestPredictMethodNotAllowed(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/v1/predict")
 	if err != nil {
 		t.Fatal(err)
@@ -257,7 +263,7 @@ func TestPredictMethodNotAllowed(t *testing.T) {
 func TestPredictSaturationReturns429(t *testing.T) {
 	// MaxInflight 1 plus a request that parks inside the handler forces
 	// the next request onto the backpressure path.
-	s, ts := newTestServer(t, Config{MaxInflight: 1, Timeout: 5 * time.Second})
+	s, ts := newTestServer(t, WithMaxInflight(1), WithTimeout(5*time.Second))
 	release := make(chan struct{})
 	s.sem <- struct{}{} // occupy the only slot, as a parked request would
 	go func() {
@@ -276,7 +282,7 @@ func TestPredictSaturationReturns429(t *testing.T) {
 }
 
 func TestDesignSpaceEndpoint(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/v1/designspace")
 	if err != nil {
 		t.Fatal(err)
@@ -306,7 +312,7 @@ func TestDesignSpaceEndpoint(t *testing.T) {
 }
 
 func TestHealthzEndpoint(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -322,7 +328,7 @@ func TestHealthzEndpoint(t *testing.T) {
 }
 
 func TestMetricsEndpoint(t *testing.T) {
-	_, ts := newTestServer(t, Config{CacheSize: 8})
+	_, ts := newTestServer(t, WithCacheSize(8))
 	d := counters.Dim(counters.Basic)
 	body := predictBody(t, d, 1)
 	postPredict(t, ts, body)
@@ -371,7 +377,7 @@ func TestReloadHotSwapsAndPurgesCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(eng, Config{ModelPath: path, CacheSize: 8})
+	s := New(eng, WithModelPath(path), WithCacheSize(8))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -410,7 +416,7 @@ func TestReloadHotSwapsAndPurgesCache(t *testing.T) {
 }
 
 func TestReloadWithoutModelPath(t *testing.T) {
-	_, ts := newTestServer(t, Config{}) // no ModelPath
+	_, ts := newTestServer(t) // no ModelPath
 	resp, err := http.Post(ts.URL+"/v1/reload", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -431,7 +437,7 @@ func TestReloadRejectsCorruptFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(eng, Config{ModelPath: path})
+	s := New(eng, WithModelPath(path))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	resp, err := http.Post(ts.URL+"/v1/reload", "application/json", nil)
@@ -458,7 +464,7 @@ func TestConcurrentPredictAndReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(eng, Config{ModelPath: path, CacheSize: 64, MaxInflight: 128})
+	s := New(eng, WithModelPath(path), WithCacheSize(64), WithMaxInflight(128))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arch"
+)
+
+// shadowJob is one primary decision duplicated for shadow evaluation:
+// the feature vector, the decision the active engine made, and which
+// engine made it (so comparisons across a hot-swap are discarded instead
+// of polluting the agreement stats).
+type shadowJob struct {
+	eng      *Engine
+	features []float64
+	config   arch.Config
+}
+
+// shadowState evaluates a candidate engine on duplicated production
+// traffic, strictly off the request path: the predict handlers enqueue
+// finished decisions with a non-blocking send (a full queue drops the
+// duplicate, never delays the response) and a single worker goroutine
+// replays them against the shadow. Counters are epoch-scoped: promotion
+// resets them so the next candidate starts clean.
+type shadowState struct {
+	eng    atomic.Pointer[Engine]
+	source atomic.Pointer[string]
+
+	jobs     chan shadowJob
+	stop     chan struct{}
+	stopOnce sync.Once
+	stopped  chan struct{}
+
+	enqueued   atomic.Uint64 // jobs accepted into the queue
+	processed  atomic.Uint64 // jobs consumed by the worker (compared + stale)
+	dropped    atomic.Uint64 // duplicates lost to a full queue
+	stale      atomic.Uint64 // jobs skipped: engine swapped or dimensions differ
+	compared   atomic.Uint64 // decisions actually replayed on the shadow
+	matched    atomic.Uint64 // compared decisions with every parameter equal
+	paramAgree atomic.Uint64 // per-parameter agreements across compared decisions
+	paramTotal atomic.Uint64 // per-parameter comparisons (compared * NumParams)
+}
+
+// newShadowState starts the evaluation worker.
+func newShadowState(eng *Engine, source string, queue int, active func() *Engine) *shadowState {
+	st := &shadowState{
+		jobs:    make(chan shadowJob, queue),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	st.eng.Store(eng)
+	st.source.Store(&source)
+	go st.run(active)
+	return st
+}
+
+// observe duplicates one finished primary decision. Non-blocking: the
+// primary response is already (or about to be) on the wire, and nothing
+// here may delay the next request.
+func (st *shadowState) observe(eng *Engine, features []float64, cfg arch.Config) {
+	select {
+	case st.jobs <- shadowJob{eng: eng, features: features, config: cfg}:
+		st.enqueued.Add(1)
+	default:
+		st.dropped.Add(1)
+	}
+}
+
+// run is the evaluation worker; active reports the current primary engine
+// so comparisons straddling a hot-swap are discarded as stale.
+func (st *shadowState) run(active func() *Engine) {
+	defer close(st.stopped)
+	for {
+		select {
+		case j := <-st.jobs:
+			st.compare(j, active())
+		case <-st.stop:
+			return
+		}
+	}
+}
+
+// compare replays one duplicated decision on the shadow engine.
+func (st *shadowState) compare(j shadowJob, primary *Engine) {
+	defer st.processed.Add(1)
+	sh := st.eng.Load()
+	if sh == nil || j.eng != primary || sh.Dim() != j.eng.Dim() {
+		st.stale.Add(1)
+		return
+	}
+	got, _ := sh.Predict(j.features)
+	agree := uint64(0)
+	for p := arch.Param(0); p < arch.NumParams; p++ {
+		if got[p] == j.config[p] {
+			agree++
+		}
+	}
+	st.compared.Add(1)
+	st.paramAgree.Add(agree)
+	st.paramTotal.Add(uint64(arch.NumParams))
+	if agree == uint64(arch.NumParams) {
+		st.matched.Add(1)
+	}
+}
+
+// close stops the worker. Enqueues after close fall into the queue until
+// it fills, then drop — the predict path never notices.
+func (st *shadowState) close() {
+	st.stopOnce.Do(func() { close(st.stop) })
+	<-st.stopped
+}
+
+// clear empties the shadow slot and resets the epoch counters (called on
+// promotion: the promoted model is now primary, and a future candidate
+// must not inherit its stats).
+func (st *shadowState) clear() {
+	st.eng.Store(nil)
+	st.source.Store(nil)
+	st.compared.Store(0)
+	st.matched.Store(0)
+	st.paramAgree.Store(0)
+	st.paramTotal.Store(0)
+	st.stale.Store(0)
+}
+
+// ShadowStatus is the shadow section of GET /v1/status and /v1/models:
+// the candidate's identity plus its agreement with the active model over
+// the duplicated traffic evaluated so far.
+type ShadowStatus struct {
+	Model  ModelInfo `json:"model"`
+	Source string    `json:"source,omitempty"`
+	// Compared counts decisions replayed on the shadow; Dropped the
+	// duplicates lost to a full queue; Stale the ones discarded because
+	// the primary swapped mid-flight.
+	Compared uint64 `json:"compared"`
+	Dropped  uint64 `json:"dropped"`
+	Stale    uint64 `json:"stale"`
+	// ParamAgreement is the fraction of per-parameter decisions the
+	// shadow agreed on; DecisionMatchRate the fraction of whole
+	// configurations that matched exactly; Divergence the count that did
+	// not.
+	ParamAgreement    float64 `json:"paramAgreement"`
+	DecisionMatchRate float64 `json:"decisionMatchRate"`
+	Divergence        uint64  `json:"divergence"`
+}
+
+// status snapshots the shadow slot; nil when the slot is empty.
+func (st *shadowState) status() *ShadowStatus {
+	if st == nil {
+		return nil
+	}
+	sh := st.eng.Load()
+	if sh == nil {
+		return nil
+	}
+	out := &ShadowStatus{
+		Model:    modelInfo(sh),
+		Compared: st.compared.Load(),
+		Dropped:  st.dropped.Load(),
+		Stale:    st.stale.Load(),
+	}
+	if src := st.source.Load(); src != nil {
+		out.Source = *src
+	}
+	if pt := st.paramTotal.Load(); pt > 0 {
+		out.ParamAgreement = float64(st.paramAgree.Load()) / float64(pt)
+	}
+	if out.Compared > 0 {
+		out.DecisionMatchRate = float64(st.matched.Load()) / float64(out.Compared)
+		out.Divergence = out.Compared - st.matched.Load()
+	}
+	return out
+}
+
+// ShadowStats snapshots the shadow slot (nil when no shadow is loaded).
+func (s *Server) ShadowStats() *ShadowStatus { return s.shadow.status() }
+
+// ShadowDrain blocks until every duplicated decision enqueued so far has
+// been evaluated (or timeout passes), reporting whether the queue
+// drained. Benchmarks call it before reading agreement stats; the serving
+// path never waits on anything shadow-related.
+func (s *Server) ShadowDrain(timeout time.Duration) bool {
+	if s.shadow == nil {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for s.shadow.processed.Load() < s.shadow.enqueued.Load() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/softmax"
+)
+
+// trainDivergentPredictor trains on the same features as
+// trainTestPredictor but with the phase labels swapped, so the two models
+// disagree on the training vectors by construction.
+func trainDivergentPredictor(t testing.TB) *core.Predictor {
+	t.Helper()
+	d := counters.Dim(counters.Basic)
+	memFeat := make([]float64, d)
+	memFeat[0] = 1
+	memFeat[d-1] = 1
+	cpuFeat := make([]float64, d)
+	cpuFeat[1] = 1
+	cpuFeat[d-1] = 1
+	phases := []core.PhaseExample{
+		{Features: memFeat, Good: []arch.Config{arch.Baseline().With(arch.L2CacheKB, 256).With(arch.Width, 8)}},
+		{Features: cpuFeat, Good: []arch.Config{arch.Baseline().With(arch.L2CacheKB, 4096).With(arch.Width, 2)}},
+	}
+	opts := softmax.DefaultOptions()
+	opts.MaxIter = 40
+	pred, err := core.TrainPredictor(counters.Basic, phases, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pred
+}
+
+// newShadowServer boots a server whose shadow slot holds an engine built
+// from pred (the primary is the usual test predictor).
+func newShadowServer(t testing.TB, pred *core.Predictor, opts ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	sh, err := NewEngine(pred, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newTestServer(t, append([]Option{WithShadow(sh, "test-shadow.bin")}, opts...)...)
+}
+
+// TestShadowByteIdenticalResponses is the tentpole's isolation contract:
+// a server with a shadow loaded must produce byte-identical responses to
+// an identically configured server without one — singles, batches, both
+// probs variants, cached flags included.
+func TestShadowByteIdenticalResponses(t *testing.T) {
+	_, plainTS := newTestServer(t, WithCacheSize(64))
+	_, shadowTS := newShadowServer(t, trainDivergentPredictor(t), WithCacheSize(64))
+
+	pool := SyntheticFeatures(counters.Dim(counters.Basic), 6, 33)
+	fire := func(ts *httptest.Server) []byte {
+		var out bytes.Buffer
+		for _, probs := range []string{"", "?probs=1"} {
+			for _, f := range pool {
+				body, err := json.Marshal(PredictRequest{Features: f})
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, data := postPath(t, ts, "/v1/predict"+probs, body)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("predict -> %d: %s", resp.StatusCode, data)
+				}
+				out.Write(data)
+			}
+			batch, err := json.Marshal(PredictRequest{Batch: pool})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, data := postPath(t, ts, "/v1/predict"+probs, batch)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("batch -> %d: %s", resp.StatusCode, data)
+			}
+			out.Write(data)
+		}
+		return out.Bytes()
+	}
+	want := fire(plainTS)
+	got := fire(shadowTS)
+	if !bytes.Equal(got, want) {
+		t.Errorf("shadow-on responses differ from shadow-off:\n--- shadow ---\n%s\n--- plain ---\n%s", got, want)
+	}
+}
+
+// TestShadowAgreementIdenticalModel: a shadow built from the same weights
+// as the primary must report perfect agreement once the queue drains.
+func TestShadowAgreementIdenticalModel(t *testing.T) {
+	pred := trainTestPredictor(t, counters.Basic)
+	sh, err := NewEngine(pred, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, WithShadow(sh, "same.bin"), WithCacheSize(16))
+	pool := SyntheticFeatures(counters.Dim(counters.Basic), 4, 5)
+	for _, f := range pool {
+		body, err := json.Marshal(PredictRequest{Features: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		postPredict(t, ts, body)
+		postPredict(t, ts, body) // the cache-hit path must also duplicate
+	}
+	if !s.ShadowDrain(10 * time.Second) {
+		t.Fatal("shadow queue did not drain")
+	}
+	st := s.ShadowStats()
+	if st == nil {
+		t.Fatal("no shadow stats")
+	}
+	if st.Compared != uint64(2*len(pool)) {
+		t.Errorf("compared = %d, want %d (hits duplicated too)", st.Compared, 2*len(pool))
+	}
+	if st.ParamAgreement != 1 || st.DecisionMatchRate != 1 || st.Divergence != 0 {
+		t.Errorf("identical shadow disagreed: %+v", st)
+	}
+	if st.Source != "same.bin" || st.Model.Version != s.Engine().Version() {
+		t.Errorf("shadow identity wrong: %+v", st)
+	}
+	// The same numbers surface on /v1/status and /v1/models.
+	sr := getStatus(t, ts.URL)
+	if sr.Shadow == nil || sr.Shadow.ParamAgreement != 1 {
+		t.Errorf("status shadow section = %+v", sr.Shadow)
+	}
+}
+
+// TestShadowDivergenceDetected: a shadow trained with swapped labels must
+// disagree on the training vectors.
+func TestShadowDivergenceDetected(t *testing.T) {
+	s, ts := newShadowServer(t, trainDivergentPredictor(t), WithCacheSize(16))
+	d := counters.Dim(counters.Basic)
+	memFeat := make([]float64, d)
+	memFeat[0] = 1
+	memFeat[d-1] = 1
+	body, err := json.Marshal(PredictRequest{Features: memFeat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	postPredict(t, ts, body)
+	if !s.ShadowDrain(10 * time.Second) {
+		t.Fatal("shadow queue did not drain")
+	}
+	st := s.ShadowStats()
+	if st.Compared != 1 || st.Divergence != 1 || st.DecisionMatchRate != 0 {
+		t.Errorf("divergent shadow stats = %+v, want 1 compared / 1 divergence", st)
+	}
+	if st.ParamAgreement >= 1 {
+		t.Errorf("paramAgreement = %v, want < 1", st.ParamAgreement)
+	}
+}
+
+// TestModelsEndpoint covers GET /v1/models with and without a shadow.
+func TestModelsEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, WithActiveSource("active.bin"))
+	resp, data := getJSON(t, ts.URL+"/v1/models")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/models -> %d: %s", resp.StatusCode, data)
+	}
+	var mr ModelsResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Active.Source != "active.bin" || mr.Active.Model.Version != s.Engine().Version() {
+		t.Errorf("active section = %+v", mr.Active)
+	}
+	if mr.Shadow != nil {
+		t.Errorf("shadow section present without a shadow: %+v", mr.Shadow)
+	}
+
+	s2, ts2 := newShadowServer(t, trainTestPredictor(t, counters.Basic))
+	_, data2 := getJSON(t, ts2.URL+"/v1/models")
+	var mr2 ModelsResponse
+	if err := json.Unmarshal(data2, &mr2); err != nil {
+		t.Fatal(err)
+	}
+	if mr2.Shadow == nil || mr2.Shadow.Source != "test-shadow.bin" {
+		t.Fatalf("shadow section = %+v", mr2.Shadow)
+	}
+	if mr2.Shadow.Model.Version != s2.shadow.eng.Load().Version() {
+		t.Errorf("shadow version mismatch: %+v", mr2.Shadow.Model)
+	}
+}
+
+// getJSON GETs a URL and returns the response and body.
+func getJSON(t testing.TB, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestPromote covers the full promotion lifecycle: no shadow (409), gates
+// unmet (412), success (hot-swap + cache purge + source update + slot
+// cleared), and repeat promotion without a shadow (409 again).
+func TestPromote(t *testing.T) {
+	// 409 without a shadow.
+	_, plainTS := newTestServer(t)
+	resp, data := postPath(t, plainTS, "/v1/models/promote", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("promote without shadow -> %d: %s", resp.StatusCode, data)
+	}
+
+	pred := trainTestPredictor(t, counters.Basic)
+	s, ts := newShadowServer(t, pred, WithCacheSize(16))
+	shadowEng := s.shadow.eng.Load()
+	primary := s.Engine()
+
+	d := counters.Dim(counters.Basic)
+	postPredict(t, ts, predictBody(t, d, 1))
+	if !s.ShadowDrain(10 * time.Second) {
+		t.Fatal("shadow queue did not drain")
+	}
+
+	// 412: not enough evidence.
+	gates, _ := json.Marshal(PromoteRequest{MinCompared: 1000})
+	resp, data = postPath(t, ts, "/v1/models/promote", gates)
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("promote with unmet compared gate -> %d: %s", resp.StatusCode, data)
+	}
+	gates, _ = json.Marshal(PromoteRequest{MinAgreement: 2}) // unreachable
+	resp, data = postPath(t, ts, "/v1/models/promote", gates)
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("promote with unmet agreement gate -> %d: %s", resp.StatusCode, data)
+	}
+	if s.Engine() != primary {
+		t.Fatal("failed promotion swapped the engine")
+	}
+
+	// Success, with satisfiable gates.
+	gates, _ = json.Marshal(PromoteRequest{MinAgreement: 0.99, MinCompared: 1})
+	resp, data = postPath(t, ts, "/v1/models/promote", gates)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote -> %d: %s", resp.StatusCode, data)
+	}
+	var pr PromoteResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Promoted || pr.Model.Version != shadowEng.Version() || pr.Previous.Version != primary.Version() {
+		t.Errorf("promote payload = %+v", pr)
+	}
+	if s.Engine() != shadowEng {
+		t.Error("engine not swapped to the shadow")
+	}
+	if s.cache.len() != 0 {
+		t.Error("decision cache not purged by promotion")
+	}
+	if s.ActiveSource() != "test-shadow.bin" {
+		t.Errorf("active source = %q, want test-shadow.bin", s.ActiveSource())
+	}
+	if s.ShadowStats() != nil {
+		t.Error("shadow slot not cleared by promotion")
+	}
+	if s.metrics.promotes.Value() != 1 {
+		t.Errorf("promotes counter = %d, want 1", s.metrics.promotes.Value())
+	}
+	// The slot is empty now: promoting again conflicts.
+	resp, _ = postPath(t, ts, "/v1/models/promote", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("second promote -> %d, want 409", resp.StatusCode)
+	}
+	// And the promoted engine still answers.
+	if resp, _ := postPredict(t, ts, predictBody(t, d, 1)); resp.StatusCode != http.StatusOK {
+		t.Error("predict after promotion failed")
+	}
+}
+
+// TestShadowZeroAllocOnPrimaryPath pins the acceptance bar: duplicating
+// a decision to the shadow adds zero allocations to the primary cache-hit
+// path. The worker is stopped and the 1-slot queue pre-filled so every
+// observe takes the drop branch (a channel send of a value struct), which
+// is the steady state under overload.
+func TestShadowZeroAllocOnPrimaryPath(t *testing.T) {
+	pred := trainTestPredictor(t, counters.Basic)
+	measure := func(s *Server) float64 {
+		f := SyntheticFeatures(counters.Dim(counters.Basic), 1, 9)[0]
+		eng := s.Engine()
+		s.resolveSingle(eng, f) // warm the cache entry
+		s.renderResponse(eng, mustHit(t, s, f), true, false)
+		return testing.AllocsPerRun(200, func() {
+			entry, hit := s.resolveSingle(eng, f)
+			if !hit {
+				t.Fatal("expected cache hit")
+			}
+			s.renderResponse(eng, entry, true, false)
+		})
+	}
+	plain, _ := newTestServer(t, WithCacheSize(16))
+	sh, err := NewEngine(pred, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadowed, _ := newTestServer(t, WithCacheSize(16), WithShadow(sh, "x.bin"), WithShadowQueue(1))
+	shadowed.Close()                                                                                                    // stop the worker (its own allocs would pollute the count)
+	shadowed.shadow.observe(shadowed.Engine(), SyntheticFeatures(counters.Dim(counters.Basic), 1, 9)[0], arch.Config{}) // fill the 1-slot queue
+
+	base := measure(plain)
+	withShadow := measure(shadowed)
+	if withShadow > base {
+		t.Errorf("shadow adds allocations to the primary hot path: %v vs %v per op", withShadow, base)
+	}
+	if shadowed.shadow.dropped.Load() == 0 {
+		t.Error("expected drops on the pre-filled queue")
+	}
+}
+
+// mustHit returns the live cache entry for f.
+func mustHit(t testing.TB, s *Server, f []float64) *cacheEntry {
+	t.Helper()
+	entry, hit := s.cache.get(cacheKey(f))
+	if !hit {
+		t.Fatal("no cache entry")
+	}
+	return entry
+}

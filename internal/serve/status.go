@@ -15,13 +15,15 @@ type StatusResponse struct {
 	Requests []RequestCount `json:"requests"`
 	// ErrorRate is the share of requests answered 4xx/5xx; ServerErrorRate
 	// counts 5xx only.
-	ErrorRate       float64        `json:"errorRate"`
-	ServerErrorRate float64        `json:"serverErrorRate"`
-	Saturated       uint64         `json:"saturated"`
-	Reloads         uint64         `json:"reloads"`
-	Cache           CacheStatus    `json:"cache"`
-	Batch           BatchStatus    `json:"batch"`
-	Latency         []RouteLatency `json:"latency"`
+	ErrorRate       float64         `json:"errorRate"`
+	ServerErrorRate float64         `json:"serverErrorRate"`
+	Saturated       uint64          `json:"saturated"`
+	Reloads         uint64          `json:"reloads"`
+	Cache           CacheStatus     `json:"cache"`
+	Batch           BatchStatus     `json:"batch"`
+	Latency         []RouteLatency  `json:"latency"`
+	Admission       AdmissionStatus `json:"admission"`
+	Shadow          *ShadowStatus   `json:"shadow,omitempty"`
 }
 
 // RequestCount is one (path, status code) request counter.
@@ -56,6 +58,28 @@ type RouteLatency struct {
 	P50Seconds  float64 `json:"p50Seconds"`
 	P99Seconds  float64 `json:"p99Seconds"`
 	P999Seconds float64 `json:"p999Seconds"`
+}
+
+// AdmissionStatus is the per-class admission view: one row per class in
+// shed order (most important first), with per-class windowed latency even
+// when admission control itself is disabled.
+type AdmissionStatus struct {
+	Enabled          bool          `json:"enabled"`
+	TargetP99Seconds float64       `json:"targetP99Seconds,omitempty"`
+	Classes          []ClassStatus `json:"classes"`
+}
+
+// ClassStatus is one admission class's counters and windowed latency.
+type ClassStatus struct {
+	Class       string            `json:"class"`
+	Requests    uint64            `json:"requests"`
+	Shed        uint64            `json:"shed"`
+	ShedByCause map[string]uint64 `json:"shedByCause,omitempty"`
+	Inflight    int64             `json:"inflight"`
+	WindowCount uint64            `json:"windowCount"`
+	TotalCount  uint64            `json:"totalCount"`
+	P50Seconds  float64           `json:"p50Seconds"`
+	P99Seconds  float64           `json:"p99Seconds"`
 }
 
 // handleStatus serves the SLO snapshot. Request counts come from the same
@@ -113,5 +137,52 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			P999Seconds: qs[2],
 		})
 	}
+	resp.Admission = s.admissionStatus()
+	resp.Shadow = s.shadow.status()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// admissionStatus assembles the per-class rows, most important class
+// first (the reverse of shed order).
+func (s *Server) admissionStatus() AdmissionStatus {
+	st := AdmissionStatus{Enabled: s.adm != nil}
+	if s.adm != nil {
+		st.TargetP99Seconds = s.adm.target
+	}
+	shed := map[string]map[string]uint64{}
+	s.metrics.shed.Each(func(values []string, count uint64) {
+		byCause := shed[values[0]]
+		if byCause == nil {
+			byCause = map[string]uint64{}
+			shed[values[0]] = byCause
+		}
+		byCause[values[1]] += count
+	})
+	requests := map[string]uint64{}
+	s.metrics.classRequests.Each(func(values []string, count uint64) {
+		requests[values[0]] += count
+	})
+	for c := NumClasses; c > 0; {
+		c--
+		name := c.String()
+		h := s.metrics.classLat[c]
+		qs := h.Quantiles(0.5, 0.99)
+		row := ClassStatus{
+			Class:       name,
+			Requests:    requests[name],
+			ShedByCause: shed[name],
+			WindowCount: h.Count(),
+			TotalCount:  h.TotalCount(),
+			P50Seconds:  qs[0],
+			P99Seconds:  qs[1],
+		}
+		for _, n := range row.ShedByCause {
+			row.Shed += n
+		}
+		if s.adm != nil {
+			row.Inflight = s.adm.inflightOf(c)
+		}
+		st.Classes = append(st.Classes, row)
+	}
+	return st
 }

@@ -35,7 +35,7 @@ func getStatus(t *testing.T, url string) StatusResponse {
 // asserts /v1/status reports counts, error rates, cache stats, the model
 // fingerprint and non-zero windowed latency quantiles.
 func TestStatusEndpoint(t *testing.T) {
-	s, ts := newTestServer(t, Config{CacheSize: 16})
+	s, ts := newTestServer(t, WithCacheSize(16))
 	d := counters.Dim(counters.Basic)
 	for i := 0; i < 3; i++ {
 		resp, _ := postPredict(t, ts, predictBody(t, d, 1)) // 1 miss + 2 hits

@@ -262,4 +262,60 @@ if ! echo "$slo_line" | awk '{
 fi
 echo "batch loadgen smoke: 512/512 ok, $batch_count batched kernel calls, ${slo_line# }"
 
+echo "== adaptd open-loop admission/shadow smoke =="
+# Reboot the daemon on the model the batch smoke just trained, shadowed by
+# the same file, with admission control rate-limiting the background class
+# only, and offer open-loop Poisson load with a Zipf-skewed pool. The
+# background class must shed (its 10% share of -rps 600 far exceeds the
+# 20/s bucket) while interactive and batch shed nothing, every class must
+# report windowed latency quantiles, and the self-shadow must agree with
+# the active model exactly.
+open_out=$(mktemp /tmp/verify-openloop.XXXXXX)
+trap 'rm -rf "$trace_out" "$cache_dir" "$cold_out" "$warm_out" "$warm_err" "$sur_off_out" "$sur_off_err" "$sur_on_out" "$sur_on_err" "$cold_man" "$warm_man" "$fab_dir" "$fab_out" "$fab_err" "$merged_dir" "$replay_out" "$replay_err" "$replay_man" "$bad_dir" "$model_dir" "$loadgen_out" "$open_out"' EXIT
+go run ./cmd/adaptd -model "$model_dir/adaptd.model" -counter-set basic \
+    -shadow "$model_dir/adaptd.model" \
+    -admission -admission-rate background=20:5 \
+    -loadgen -loadgen-mode open -rps 600 -loadgen-requests 900 \
+    -loadgen-zipf 1.1 >"$open_out" 2>/dev/null
+if ! grep -q 'requests=900 ok=[0-9]* rejected=[0-9]* clientErr=0 serverErr=0 transportErr=0' "$open_out"; then
+    echo "open-loop smoke: report shows request errors" >&2
+    grep 'requests=' "$open_out" >&2 || cat "$open_out" >&2
+    exit 1
+fi
+bg_shed=$(grep '^class background' "$open_out" | grep -o 'shed=[0-9]*' | head -1 | cut -d= -f2)
+if [ -z "$bg_shed" ] || [ "$bg_shed" -eq 0 ]; then
+    echo "open-loop smoke: background class did not shed under a 20/s bucket" >&2
+    grep '^class ' "$open_out" >&2 || true
+    exit 1
+fi
+for cls in interactive batch; do
+    shed=$(grep "^class $cls" "$open_out" | grep -o 'shed=[0-9]*' | head -1 | cut -d= -f2)
+    if [ -z "$shed" ] || [ "$shed" -ne 0 ]; then
+        echo "open-loop smoke: $cls class shed (shed=$shed); only background may shed here" >&2
+        grep '^class ' "$open_out" >&2 || true
+        exit 1
+    fi
+done
+for cls in interactive batch background; do
+    if ! grep "class $cls" "$open_out" | awk '
+        /p50=/ {
+            for (i = 1; i <= NF; i++) {
+                if ($i ~ /^p50=/) { p50 = substr($i, 5); sub(/s$/, "", p50) }
+                if ($i ~ /^p99=/) { p99 = substr($i, 5); sub(/s$/, "", p99) }
+            }
+            if (p50 + 0 > 0 && p99 + 0 > 0) found = 1
+        }
+        END { exit !found }'; then
+        echo "open-loop smoke: $cls class p50/p99 missing or zero" >&2
+        grep "class $cls" "$open_out" >&2 || true
+        exit 1
+    fi
+done
+if ! grep -q 'paramAgreement=1\.000 decisionMatch=1\.000' "$open_out"; then
+    echo "open-loop smoke: self-shadow disagreed with the active model" >&2
+    grep 'shadow' "$open_out" >&2 || true
+    exit 1
+fi
+echo "open-loop smoke: background shed $bg_shed, interactive/batch shed 0, self-shadow agreement 1.000"
+
 echo "verify: all gates passed"

@@ -1,0 +1,78 @@
+// Canonical byte encoding of warm predictor state for the
+// warmup-checkpoint machinery (cpu.Sim.Snapshot/Restore): the gshare PHT
+// and history register plus the BTB tags, targets and LRU ages. The
+// statistics counters are excluded — the simulator resets them after
+// warmup. Fixed little-endian layout; content-addressed storage depends
+// on the same state always producing the same bytes.
+package branch
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SnapshotSize returns the exact encoded size of this predictor's snapshot.
+func (p *Predictor) SnapshotSize() int {
+	btb := len(p.btbTags)
+	return 4 + len(p.pht) + 4 + 4 + 4 + 4*btb + 4*btb + btb
+}
+
+// AppendSnapshot appends the canonical encoding of the predictor's
+// learned state to buf and returns the extended slice.
+func (p *Predictor) AppendSnapshot(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.pht)))
+	buf = append(buf, p.pht...)
+	buf = binary.LittleEndian.AppendUint32(buf, p.ghr)
+	buf = binary.LittleEndian.AppendUint32(buf, p.btbSets)
+	buf = binary.LittleEndian.AppendUint32(buf, p.btbWays)
+	for _, t := range p.btbTags {
+		buf = binary.LittleEndian.AppendUint32(buf, t)
+	}
+	for _, t := range p.btbTargets {
+		buf = binary.LittleEndian.AppendUint32(buf, t)
+	}
+	buf = append(buf, p.btbLRU...)
+	return buf
+}
+
+// RestoreSnapshot overwrites the predictor's learned state from the
+// encoding at the front of buf and returns the remainder. The snapshot's
+// geometry (PHT entries, BTB sets/ways) must match the predictor's
+// exactly. Statistics are left untouched.
+func (p *Predictor) RestoreSnapshot(buf []byte) ([]byte, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("branch: snapshot truncated (PHT header)")
+	}
+	phtLen := int(binary.LittleEndian.Uint32(buf))
+	if phtLen != len(p.pht) {
+		return nil, fmt.Errorf("branch: snapshot PHT size %d does not match predictor %d", phtLen, len(p.pht))
+	}
+	buf = buf[4:]
+	if len(buf) < phtLen+12 {
+		return nil, fmt.Errorf("branch: snapshot truncated (PHT body)")
+	}
+	copy(p.pht, buf[:phtLen])
+	buf = buf[phtLen:]
+	p.ghr = binary.LittleEndian.Uint32(buf[0:])
+	sets := binary.LittleEndian.Uint32(buf[4:])
+	ways := binary.LittleEndian.Uint32(buf[8:])
+	if sets != p.btbSets || ways != p.btbWays {
+		return nil, fmt.Errorf("branch: snapshot BTB geometry %dx%d does not match predictor %dx%d",
+			sets, ways, p.btbSets, p.btbWays)
+	}
+	buf = buf[12:]
+	btb := len(p.btbTags)
+	if len(buf) < 4*btb+4*btb+btb {
+		return nil, fmt.Errorf("branch: snapshot truncated (%d bytes for %d BTB entries)", len(buf), btb)
+	}
+	for i := 0; i < btb; i++ {
+		p.btbTags[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	buf = buf[4*btb:]
+	for i := 0; i < btb; i++ {
+		p.btbTargets[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	buf = buf[4*btb:]
+	copy(p.btbLRU, buf[:btb])
+	return buf[btb:], nil
+}

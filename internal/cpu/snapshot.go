@@ -1,0 +1,103 @@
+// Warmup checkpoints: a deterministic snapshot/restore of the
+// micro-architectural state a warmup run produces and a measured run
+// consumes. After warmup the only state that survives into measurement
+// is the cache hierarchy's tags and LRU ages and the branch predictor's
+// learned tables — Run resets every statistics counter after the warmup
+// prefix and getState rebuilds all transient pipeline state — so a
+// snapshot of exactly those structures, plus repositioning the source
+// past the warmup prefix (SliceSource.Skip), reproduces the warm Sim
+// bit-for-bit. This is an amortisation, never an approximation: a
+// measured Run after Restore must produce the byte-identical Result a
+// re-executed warmup would (golden sweep in snapshot_test.go).
+package cpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// snapshotVersion tags the Snapshot encoding; Restore refuses others.
+const snapshotVersion = 1
+
+// Skip advances the source by n instructions exactly as if they had been
+// consumed by Next, wrapping like Next does. It lets a restored warmup
+// reposition the stream without replaying the prefix.
+func (s *SliceSource) Skip(n int) {
+	if n < 0 {
+		panic("cpu: negative skip")
+	}
+	s.pos = (s.pos + n) % len(s.insts)
+}
+
+// Warmup executes n instructions from src exactly as Run's built-in
+// warmup prefix would — same option overrides, same accounting — leaving
+// the Sim warm for a measurement Run with WarmupInsts == 0 and
+// FlushCaches == false. opts should be the measurement options; only
+// FlushCaches is honoured (flushing before warmup, as Run does).
+func (s *Sim) Warmup(src Source, n int, opts Options) error {
+	if n <= 0 {
+		return errors.New("cpu: warmup instruction count must be positive")
+	}
+	warm := opts
+	warm.WarmupInsts = 0
+	warm.Collect = false
+	warm.StartStall = 0
+	warm.ExtraEnergyPJ = 0
+	res, err := s.Run(src, n, warm)
+	if err != nil {
+		return err
+	}
+	obsWarmupInsts.Add(res.Committed)
+	return nil
+}
+
+// Snapshot returns the canonical byte encoding of the Sim's warm
+// micro-architectural state: L1I, L1D and L2 tags/LRU and the branch
+// predictor's PHT, history register and BTB. Statistics counters and
+// transient pipeline state are excluded — Run resets both before
+// measurement. The encoding is a pure function of the warm state, so
+// identical warmups always produce identical bytes (content-addressed
+// storage depends on this).
+func (s *Sim) Snapshot() []byte {
+	size := 1 + s.hier.L1I.SnapshotSize() + s.hier.L1D.SnapshotSize() +
+		s.hier.L2.SnapshotSize() + s.bp.SnapshotSize()
+	buf := make([]byte, 0, size)
+	buf = append(buf, snapshotVersion)
+	buf = s.hier.L1I.AppendSnapshot(buf)
+	buf = s.hier.L1D.AppendSnapshot(buf)
+	buf = s.hier.L2.AppendSnapshot(buf)
+	buf = s.bp.AppendSnapshot(buf)
+	return buf
+}
+
+// Restore overwrites the Sim's caches and branch predictor from a
+// Snapshot taken on a Sim of the identical configuration. Geometry is
+// validated structure by structure; a snapshot is only valid for the
+// configuration it was taken under.
+func (s *Sim) Restore(snap []byte) error {
+	if len(snap) < 1 {
+		return errors.New("cpu: empty snapshot")
+	}
+	if snap[0] != snapshotVersion {
+		return fmt.Errorf("cpu: snapshot version %d, want %d", snap[0], snapshotVersion)
+	}
+	rest := snap[1:]
+	var err error
+	if rest, err = s.hier.L1I.RestoreSnapshot(rest); err != nil {
+		return fmt.Errorf("cpu: restore L1I: %w", err)
+	}
+	if rest, err = s.hier.L1D.RestoreSnapshot(rest); err != nil {
+		return fmt.Errorf("cpu: restore L1D: %w", err)
+	}
+	if rest, err = s.hier.L2.RestoreSnapshot(rest); err != nil {
+		return fmt.Errorf("cpu: restore L2: %w", err)
+	}
+	if rest, err = s.bp.RestoreSnapshot(rest); err != nil {
+		return fmt.Errorf("cpu: restore predictor: %w", err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("cpu: snapshot has %d trailing bytes", len(rest))
+	}
+	obsWarmupRestores.Inc()
+	return nil
+}

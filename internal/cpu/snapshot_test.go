@@ -1,0 +1,253 @@
+package cpu
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+// checkpointRun computes the same Result as runOn(cfg, insts, opts) but
+// through the warmup-checkpoint path the experiment layer uses: a leader
+// Sim executes the warmup prefix once and snapshots it, a second Sim
+// restores the snapshot, skips the prefix on the source and runs only
+// the measurement. With opts.WarmupInsts == 0 it degenerates to a plain
+// run, so the restore-vs-rerun sweep can cover every golden case.
+func checkpointRun(t testing.TB, cfg arch.Config, insts []trace.Inst, opts Options) (leader, restored *Result) {
+	t.Helper()
+	meas := opts
+	meas.WarmupInsts = 0
+	if opts.WarmupInsts <= 0 {
+		r1 := runOn(t, cfg, insts, meas)
+		r2 := runOn(t, cfg, insts, meas)
+		return r1, r2
+	}
+
+	lead, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leadSrc := NewSliceSource(insts)
+	if err := lead.Warmup(leadSrc, opts.WarmupInsts, opts); err != nil {
+		t.Fatal(err)
+	}
+	snap := lead.Snapshot()
+	// Warmup consumed the flush (a no-op on a fresh Sim, exactly as in
+	// Run's recursive warmup prefix); measurement must not flush again.
+	meas.FlushCaches = false
+	leader, err = lead.Run(leadSrc, len(insts), meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rest, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rest.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	restSrc := NewSliceSource(insts)
+	restSrc.Skip(opts.WarmupInsts)
+	restored, err = rest.Run(restSrc, len(insts), meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return leader, restored
+}
+
+func resultDigest(r *Result) string {
+	var c canon
+	c.result(r)
+	return c.digest()
+}
+
+// TestSnapshotRoundtrip is the property test: snapshot a warm Sim,
+// mutate a second Sim of the same configuration with unrelated work,
+// restore the snapshot into it, and the re-taken snapshot must be
+// byte-identical. A restore into a completely fresh Sim must match too.
+func TestSnapshotRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	warm := mkTrace(t, "mcf", 1, 2000)
+	other := mkTrace(t, "swim", 2, 2000)
+	cfgs := []arch.Config{arch.Baseline(), arch.MinConfig(), arch.Profiling()}
+	for i := 0; i < 4; i++ {
+		cfgs = append(cfgs, arch.Random(rng))
+	}
+	for _, cfg := range cfgs {
+		src, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Warmup(NewSliceSource(warm), len(warm), Options{}); err != nil {
+			t.Fatal(err)
+		}
+		snap := src.Snapshot()
+
+		mutated, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mutated.Run(NewSliceSource(other), len(other), Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(mutated.Snapshot(), snap) {
+			t.Fatalf("%v: unrelated run left identical warm state (mutation did not take)", cfg)
+		}
+		if err := mutated.Restore(snap); err != nil {
+			t.Fatalf("%v: restore into mutated sim: %v", cfg, err)
+		}
+		if !bytes.Equal(mutated.Snapshot(), snap) {
+			t.Fatalf("%v: snapshot not reproduced after restore into mutated sim", cfg)
+		}
+
+		fresh, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Restore(snap); err != nil {
+			t.Fatalf("%v: restore into fresh sim: %v", cfg, err)
+		}
+		if !bytes.Equal(fresh.Snapshot(), snap) {
+			t.Fatalf("%v: snapshot not reproduced after restore into fresh sim", cfg)
+		}
+	}
+}
+
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	s, err := New(arch.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+
+	if err := s.Restore(nil); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	bad := append([]byte(nil), snap...)
+	bad[0] = 99
+	if err := s.Restore(bad); err == nil {
+		t.Error("wrong snapshot version accepted")
+	}
+	if err := s.Restore(snap[:len(snap)/2]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	if err := s.Restore(append(append([]byte(nil), snap...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	other, err := New(arch.Baseline().With(arch.ICacheKB, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(snap); err == nil {
+		t.Error("snapshot for a different configuration accepted")
+	}
+	// A failed restore must not have poisoned the target: a fresh
+	// snapshot of `other` must equal another fresh Sim's.
+	ref, err := New(arch.Baseline().With(arch.ICacheKB, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(other.Snapshot(), ref.Snapshot()) {
+		t.Error("rejected restore mutated the target sim")
+	}
+}
+
+// TestGoldenSweepRestoredWarmup is the restore-vs-rerun sweep: every
+// golden-digest case must produce a bit-identical Result when its warmup
+// prefix is restored from a snapshot instead of re-executed — both for
+// the leader (warm once, measure on the same Sim) and for a restorer
+// (fresh Sim + Restore + Skip).
+func TestGoldenSweepRestoredWarmup(t *testing.T) {
+	for _, gc := range goldenCases() {
+		insts := mkTrace(t, gc.program, gc.phase, gc.n)
+		want := resultDigest(runOn(t, gc.cfg, insts, gc.opts))
+		leader, restored := checkpointRun(t, gc.cfg, insts, gc.opts)
+		if got := resultDigest(leader); got != want {
+			t.Errorf("%s: leader (warm-once) digest %s != rerun %s", gc.name, got, want)
+		}
+		if got := resultDigest(restored); got != want {
+			t.Errorf("%s: restored-warmup digest %s != rerun %s", gc.name, got, want)
+		}
+	}
+}
+
+// TestWarmupProjectionAudit validates the snapshot key's config
+// projection. The store keys snapshots by the FULL configuration
+// (store.SnapshotKey): every parameter can steer warm state, because
+// derive() folds each one into the timing constants that decide how many
+// wrong-path instructions pollute the caches and predictor before each
+// branch resolves. The audit has two halves:
+//
+//  1. Sharing soundness across a sampled config grid: a shared warmup
+//     (warm once, snapshot, restore) yields bit-for-bit the Result of a
+//     re-executed warmup. With the full-config projection, sharing only
+//     ever happens between identical configurations, so this plus the
+//     golden sweep proves the projection can never change a Result.
+//  2. Sensitivity: for each parameter, some domain move away from the
+//     baseline changes the warm state on this workload. If a parameter
+//     stops mattering, this fails — the signal that the projection could
+//     be narrowed, which requires moving that proof into SnapshotKey and
+//     re-running this audit, never just assuming it.
+func TestWarmupProjectionAudit(t *testing.T) {
+	insts := mkTrace(t, "crafty", 1, 3000)
+	opts := Options{WarmupInsts: 1500}
+
+	rng := rand.New(rand.NewPCG(0xa0d17, 0x5eed))
+	grid := []arch.Config{arch.Baseline(), arch.MinConfig(), arch.Profiling()}
+	for i := 0; i < 6; i++ {
+		grid = append(grid, arch.Random(rng))
+	}
+	for _, cfg := range grid {
+		want := resultDigest(runOn(t, cfg, insts, opts))
+		leader, restored := checkpointRun(t, cfg, insts, opts)
+		if got := resultDigest(leader); got != want {
+			t.Errorf("grid %v: leader digest diverged from re-executed warmup", cfg)
+		}
+		if got := resultDigest(restored); got != want {
+			t.Errorf("grid %v: restored digest diverged from re-executed warmup", cfg)
+		}
+	}
+
+	warmSnap := func(cfg arch.Config) []byte {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Warmup(NewSliceSource(insts), opts.WarmupInsts, opts); err != nil {
+			t.Fatal(err)
+		}
+		return s.Snapshot()
+	}
+	base := arch.Baseline()
+	baseSnap := warmSnap(base)
+	for p := arch.Param(0); p < arch.NumParams; p++ {
+		sensitive := false
+		for _, v := range arch.Domain(p) {
+			if v == base[p] {
+				continue
+			}
+			variant, err := New(base.With(p, v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := variant.Warmup(NewSliceSource(insts), opts.WarmupInsts, opts); err != nil {
+				t.Fatal(err)
+			}
+			snap := variant.Snapshot()
+			// Geometry changes differ trivially; content comparison only
+			// applies when the encodings are the same length.
+			if len(snap) != len(baseSnap) || !bytes.Equal(snap, baseSnap) {
+				sensitive = true
+				break
+			}
+		}
+		if !sensitive {
+			t.Errorf("parameter %s no longer reaches warm state on this workload — "+
+				"the full-config snapshot projection may be narrowable, but only with "+
+				"proof in store.SnapshotKey plus this audit, never silently", p)
+		}
+	}
+}

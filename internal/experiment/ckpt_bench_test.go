@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// BenchmarkDatasetBuildCold measures the full test-scale dataset build
+// against a fresh (cold) store with checkpoints off — the all-simulation
+// baseline the warmup-checkpoint benchmark is compared against. Both
+// benchmarks attach a store so they pay the identical result-persistence
+// cost and differ only in how warmups are executed.
+func BenchmarkDatasetBuildCold(b *testing.B) {
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := Build(ctx, TestScale(), WithStore(st)); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkDatasetBuildWarmCkpt measures the same build replayed against
+// a store holding only the warmup-snapshot sidecar: every measurement
+// still simulates (there are no result records to replay), but every
+// warmup restores from its checkpoint — isolating the amortisation the
+// snapshot store buys, warmup instructions being roughly a third of the
+// test-scale instruction volume.
+func BenchmarkDatasetBuildWarmCkpt(b *testing.B) {
+	ctx := context.Background()
+	seed := b.TempDir()
+	st, err := store.Open(seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Build(ctx, TestScale(), WithStore(st), WithWarmupCheckpoints()); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := os.ReadFile(store.SnapLog(seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		if err := os.WriteFile(store.SnapLog(dir), snap, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := Build(ctx, TestScale(), WithStore(st), WithWarmupCheckpoints()); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,268 @@
+// Warmup-snapshot sidecar: a second content-addressed log alongside
+// results.log holding cpu.Sim warmup checkpoints (cpu.Snapshot bytes)
+// keyed by SHA-256 over (SimVersion, program, phase, config projection,
+// interval, warmup length). It reuses the result log's record framing
+// (length + CRC-32C header, key-prefixed payload) under its own file and
+// magic, so the existing result log stays byte-for-byte what it was and
+// SimVersion does not bump for the feature's existence.
+//
+// Snapshots are pure amortisation: a record's only consumer is
+// cpu.Sim.Restore on an identically-keyed warmup, and a hit must be
+// indistinguishable from re-executing the warmup (bit-for-bit equal
+// Results, gated by internal/cpu's golden sweep). Unlike results, a key
+// is never superseded — identical inputs produce identical snapshots —
+// so PutSnapshot of a present key is a no-op, and Merge refuses
+// divergent duplicates exactly as it does for results.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/arch"
+)
+
+const (
+	// snapFileName is the sidecar log; it exists only once a snapshot has
+	// been written, so stores that never checkpoint are untouched.
+	snapFileName = "snapshots.log"
+
+	// snapFileMagic distinguishes the sidecar from a result log; the
+	// framing version is shared (formatVersion).
+	snapFileMagic = "RSNP"
+
+	// maxSnapPayload bounds one snapshot record. The largest design-space
+	// snapshot (4MB L2) encodes to well under a megabyte; anything beyond
+	// this bound in a length field is corruption, not data.
+	maxSnapPayload = 1 << 24
+)
+
+// snapshotKeyMagic domain-separates snapshot keys from result keys: the
+// same (program, phase, cfg, interval, warmup) tuple must never collide
+// across the two record kinds.
+const snapshotKeyMagic = "repro.warmsnap\x00"
+
+// SnapshotKey derives the sidecar key for one warmup prefix. The config
+// projection is currently the FULL configuration: every parameter feeds
+// the timing constants that decide how much wrong-path pollution reaches
+// the caches and predictor during warmup, so no parameter can be proven
+// warm-state-irrelevant (internal/cpu's TestWarmupProjectionAudit holds
+// that proof obligation). Narrowing the projection is allowed only with
+// that audit extended to cover the excluded parameters. SimVersion is
+// baked in, so bumping it retires every old snapshot automatically.
+func SnapshotKey(program string, phase int, cfg arch.Config, intervalInsts, warmupInsts int) Key {
+	h := sha256.New()
+	buf := make([]byte, 0, 256)
+	buf = append(buf, snapshotKeyMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, SimVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(program)))
+	buf = append(buf, program...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(phase)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(arch.NumParams))
+	for p := arch.Param(0); p < arch.NumParams; p++ {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(cfg[p])))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(intervalInsts)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(warmupInsts)))
+	h.Write(buf)
+	var k Key
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// SnapLog returns the path of dir's snapshot sidecar log.
+func SnapLog(dir string) string { return filepath.Join(dir, snapFileName) }
+
+// scanSnapshots indexes an existing snapshot sidecar at Open. Damage is
+// handled like the head result log — torn framing truncates the tail so
+// appends restart cleanly, a CRC-damaged payload drops one record — but
+// the counters stay in the Snapshot* stats so sidecar damage never
+// triggers a result-log compaction.
+func (s *Store) scanSnapshots() error {
+	path := SnapLog(s.dir)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // created lazily by the first PutSnapshot
+		}
+		return fmt.Errorf("store: opening snapshot log: %w", err)
+	}
+	s.snapF = f
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("store: sizing snapshot log: %w", err)
+	}
+	truncate := func(off int64) error {
+		s.stats.SnapshotDropped++
+		obsCorrupt.Inc()
+		if err := f.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncating torn snapshot tail at %d: %w", off, err)
+		}
+		s.snapEnd = off
+		return nil
+	}
+	var hdr [headerSize]byte
+	if size < headerSize {
+		return truncate(0) // reheadered by the next PutSnapshot
+	}
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("store: reading snapshot header: %w", err)
+	}
+	if string(hdr[:4]) != snapFileMagic {
+		return fmt.Errorf("store: %s is not a snapshot log (bad magic)", path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != formatVersion {
+		return fmt.Errorf("store: snapshot log format v%d, this binary reads v%d (remove %s to rebuild)", v, formatVersion, path)
+	}
+	off := int64(headerSize)
+	var rh [recHeaderSize]byte
+	for off < size {
+		if off+recHeaderSize > size {
+			return truncate(off)
+		}
+		if _, err := f.ReadAt(rh[:], off); err != nil {
+			return fmt.Errorf("store: reading snapshot record header at %d: %w", off, err)
+		}
+		plen := int64(binary.LittleEndian.Uint32(rh[:4]))
+		crc := binary.LittleEndian.Uint32(rh[4:])
+		if plen <= keySize || plen > maxSnapPayload || off+recHeaderSize+plen > size {
+			return truncate(off)
+		}
+		payload := make([]byte, plen)
+		if _, err := f.ReadAt(payload, off+recHeaderSize); err != nil {
+			return fmt.Errorf("store: reading snapshot record at %d: %w", off, err)
+		}
+		next := off + recHeaderSize + plen
+		if crc32.Checksum(payload, castagnoli) != crc {
+			s.stats.SnapshotDropped++
+			obsCorrupt.Inc()
+			off = next
+			continue
+		}
+		var key Key
+		copy(key[:], payload[:keySize])
+		s.snapIndex[key] = recLoc{off: off + recHeaderSize, plen: int32(plen), crc: crc, src: -1}
+		off = next
+	}
+	s.snapEnd = off
+	s.stats.SnapshotRecords = len(s.snapIndex)
+	return nil
+}
+
+// GetSnapshot returns the stored warmup snapshot for key, or (nil, false)
+// when the sidecar holds no valid record for it. Like Get, the CRC is
+// re-verified on every read and a rotted record is dropped, never served.
+func (s *Store) GetSnapshot(key Key) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loc, ok := s.snapIndex[key]
+	if !ok {
+		s.stats.SnapshotMisses++
+		return nil, false
+	}
+	payload := make([]byte, loc.plen)
+	if _, err := s.snapF.ReadAt(payload, loc.off); err != nil {
+		s.evictSnapshot(key, loc)
+		return nil, false
+	}
+	if crc32.Checksum(payload, castagnoli) != loc.crc || Key(payload[:keySize]) != key {
+		s.evictSnapshot(key, loc)
+		return nil, false
+	}
+	s.stats.SnapshotHits++
+	s.stats.SnapshotBytesRead += uint64(loc.plen)
+	obsSnapHits.Inc()
+	return payload[keySize:], true
+}
+
+// evictSnapshot removes a snapshot that failed read-time validation and
+// counts the lookup as a miss.
+func (s *Store) evictSnapshot(key Key, loc recLoc) {
+	delete(s.snapIndex, key)
+	s.stats.SnapshotRecords = len(s.snapIndex)
+	s.stats.SnapshotDropped++
+	s.stats.SnapshotMisses++
+	obsCorrupt.Inc()
+}
+
+// PutSnapshot appends (key, snap) to the sidecar, creating it on first
+// use. A key already present is a no-op: snapshots are content-addressed,
+// so an identical key always names identical bytes (a divergent re-put
+// would be a physics change without a SimVersion bump, which Merge
+// refuses for the same reason).
+func (s *Store) PutSnapshot(key Key, snap []byte) error {
+	if len(snap) == 0 {
+		return fmt.Errorf("store: refusing empty snapshot")
+	}
+	if keySize+len(snap) > maxSnapPayload {
+		return fmt.Errorf("store: snapshot of %d bytes exceeds the %d-byte record bound", len(snap), maxSnapPayload)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.snapIndex[key]; ok {
+		return nil
+	}
+	if s.snapF == nil {
+		f, err := os.OpenFile(SnapLog(s.dir), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: creating snapshot log: %w", err)
+		}
+		s.snapF = f
+	}
+	if s.snapEnd < headerSize {
+		var hdr [headerSize]byte
+		copy(hdr[:4], snapFileMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], formatVersion)
+		if _, err := s.snapF.WriteAt(hdr[:], 0); err != nil {
+			return fmt.Errorf("store: writing snapshot header: %w", err)
+		}
+		s.snapEnd = headerSize
+	}
+	payload := make([]byte, keySize+len(snap))
+	copy(payload, key[:])
+	copy(payload[keySize:], snap)
+	rec := make([]byte, recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[:4], uint32(len(payload)))
+	crc := crc32.Checksum(payload, castagnoli)
+	binary.LittleEndian.PutUint32(rec[4:8], crc)
+	copy(rec[recHeaderSize:], payload)
+	if _, err := s.snapF.WriteAt(rec, s.snapEnd); err != nil {
+		return fmt.Errorf("store: appending snapshot: %w", err)
+	}
+	s.snapIndex[key] = recLoc{off: s.snapEnd + recHeaderSize, plen: int32(len(payload)), crc: crc, src: -1}
+	s.snapEnd += int64(len(rec))
+	s.stats.SnapshotRecords = len(s.snapIndex)
+	s.stats.SnapshotBytesWritten += uint64(len(payload))
+	obsSnapPuts.Inc()
+	return nil
+}
+
+// liveSnapRecords reads a directory's snapshot sidecar without opening
+// the store (the caller holds the directory lock): last record per key
+// wins, damage is skipped, nothing is repaired. A missing sidecar is an
+// empty map.
+func liveSnapRecords(dir string) (map[Key][]byte, int, error) {
+	path := SnapLog(dir)
+	if _, err := os.Stat(path); err != nil {
+		return map[Key][]byte{}, 0, nil
+	}
+	live := map[Key][]byte{}
+	scan, err := scanLogFileAs(path, snapFileMagic, maxSnapPayload, func(_ int64, key Key, payload []byte, _ uint32) {
+		p := make([]byte, len(payload))
+		copy(p, payload)
+		live[key] = p
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	dropped := scan.Dropped
+	if scan.BadHeader {
+		dropped++
+	}
+	return live, dropped, nil
+}

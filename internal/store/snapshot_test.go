@@ -1,0 +1,322 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func fakeSnapKey(i int) Key {
+	return Key(sha256.Sum256([]byte(fmt.Sprintf("snapkey-%d", i))))
+}
+
+func fakeSnap(i int) []byte {
+	b := make([]byte, 100+i)
+	for j := range b {
+		b[j] = byte(i + j)
+	}
+	return b
+}
+
+func TestSnapshotKeyDistinguishesInputs(t *testing.T) {
+	base := SnapshotKey("mcf", 1, arch.Baseline(), 2500, 1200)
+	if base == SnapshotKey("gzip", 1, arch.Baseline(), 2500, 1200) {
+		t.Error("program not in snapshot key")
+	}
+	if base == SnapshotKey("mcf", 2, arch.Baseline(), 2500, 1200) {
+		t.Error("phase not in snapshot key")
+	}
+	if base == SnapshotKey("mcf", 1, arch.Baseline().With(arch.Width, 8), 2500, 1200) {
+		t.Error("config not in snapshot key")
+	}
+	if base == SnapshotKey("mcf", 1, arch.Baseline(), 5000, 1200) {
+		t.Error("interval not in snapshot key")
+	}
+	if base == SnapshotKey("mcf", 1, arch.Baseline(), 2500, 600) {
+		t.Error("warmup length not in snapshot key")
+	}
+	// Snapshot and result keys live in distinct hash domains: identical
+	// tuples must never collide across record kinds.
+	if base == Fingerprint("mcf", 1, arch.Baseline(), 2500, 1200) {
+		t.Error("snapshot key collides with result fingerprint")
+	}
+}
+
+func TestSnapshotPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed a result record so we can prove the result log is untouched
+	// by sidecar writes.
+	if err := s.Put(fakeKey(0), fakeResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	resBefore, err := os.ReadFile(HeadLog(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.PutSnapshot(fakeSnapKey(i), fakeSnap(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Idempotent re-put: no new bytes.
+	sizeBefore := s.Stats().SnapshotBytesWritten
+	if err := s.PutSnapshot(fakeSnapKey(2), fakeSnap(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().SnapshotBytesWritten; got != sizeBefore {
+		t.Errorf("re-put of present key wrote %d bytes", got-sizeBefore)
+	}
+	for i := 0; i < 5; i++ {
+		got, ok := s.GetSnapshot(fakeSnapKey(i))
+		if !ok || !bytes.Equal(got, fakeSnap(i)) {
+			t.Fatalf("GetSnapshot(%d) = %v, %v", i, got, ok)
+		}
+	}
+	if _, ok := s.GetSnapshot(fakeSnapKey(99)); ok {
+		t.Error("GetSnapshot hit on absent key")
+	}
+	st := s.Stats()
+	if st.SnapshotRecords != 5 || st.SnapshotHits != 5 || st.SnapshotMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	resAfter, err := os.ReadFile(HeadLog(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resBefore, resAfter) {
+		t.Error("snapshot puts changed the result log bytes")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats().SnapshotRecords; got != 5 {
+		t.Fatalf("reopen indexed %d snapshots, want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		got, ok := s2.GetSnapshot(fakeSnapKey(i))
+		if !ok || !bytes.Equal(got, fakeSnap(i)) {
+			t.Fatalf("GetSnapshot(%d) after reopen = %v, %v", i, got, ok)
+		}
+	}
+}
+
+func TestSnapshotRejectsOversizeAndEmpty(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.PutSnapshot(fakeSnapKey(0), nil); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	if err := s.PutSnapshot(fakeSnapKey(0), make([]byte, maxSnapPayload)); err == nil {
+		t.Error("oversize snapshot accepted")
+	}
+}
+
+// TestSnapshotCorruptionFailsAuditAndGet: a flipped byte in a snapshot
+// payload must fail storectl verify (CheckDir fault) and be dropped on
+// the next open, exactly like a flipped result byte.
+func TestSnapshotCorruptionFailsAuditAndGet(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSnapshot(fakeSnapKey(0), fakeSnap(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := SnapLog(dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := headerSize + recHeaderSize + keySize + 10 // inside the first payload's value
+	raw[flip] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ok() {
+		t.Fatal("flipped snapshot byte passed the audit")
+	}
+	found := false
+	for _, f := range c.Faults {
+		if strings.Contains(f, snapFileName) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no fault names the snapshot log: %v", c.Faults)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.GetSnapshot(fakeSnapKey(0)); ok {
+		t.Error("corrupt snapshot served after reopen")
+	}
+	if got := s2.Stats().SnapshotDropped; got == 0 {
+		t.Error("corrupt snapshot not counted as dropped")
+	}
+	// The sidecar must heal: a fresh put of the same key must be served.
+	if err := s2.PutSnapshot(fakeSnapKey(0), fakeSnap(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.GetSnapshot(fakeSnapKey(0)); !ok || !bytes.Equal(got, fakeSnap(0)) {
+		t.Error("re-put after corruption not served")
+	}
+}
+
+func TestSnapshotTornTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSnapshot(fakeSnapKey(0), fakeSnap(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSnapshot(fakeSnapKey(1), fakeSnap(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := SnapLog(dir)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.GetSnapshot(fakeSnapKey(0)); !ok {
+		t.Error("intact first snapshot lost to a torn tail")
+	}
+	if _, ok := s2.GetSnapshot(fakeSnapKey(1)); ok {
+		t.Error("torn snapshot served")
+	}
+	// Appends must resume cleanly over the truncated tail.
+	if err := s2.PutSnapshot(fakeSnapKey(2), fakeSnap(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.GetSnapshot(fakeSnapKey(2)); !ok || !bytes.Equal(got, fakeSnap(2)) {
+		t.Error("append after torn-tail recovery not served")
+	}
+}
+
+// TestMergeUnionsSnapshots: merging stores unions their sidecars with the
+// result-merge discipline — identical duplicates collapse, the output is
+// key-sorted and byte-identical for any source order, and divergent
+// duplicates abort the merge.
+func TestMergeUnionsSnapshots(t *testing.T) {
+	mkdir := func(keys []int) string {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if err := s.PutSnapshot(fakeSnapKey(k), fakeSnap(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	a := mkdir([]int{1, 2, 3})
+	b := mkdir([]int{3, 4})
+
+	dst1 := t.TempDir()
+	ms, err := Merge(dst1, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Snapshots != 4 {
+		t.Fatalf("merged %d snapshots, want 4", ms.Snapshots)
+	}
+	dst2 := t.TempDir()
+	if _, err := Merge(dst2, b, a); err != nil {
+		t.Fatal(err)
+	}
+	log1, err := os.ReadFile(SnapLog(dst1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log2, err := os.ReadFile(SnapLog(dst2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(log1, log2) {
+		t.Error("merged sidecar depends on source order")
+	}
+
+	s, err := Open(dst1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, k := range []int{1, 2, 3, 4} {
+		if got, ok := s.GetSnapshot(fakeSnapKey(k)); !ok || !bytes.Equal(got, fakeSnap(k)) {
+			t.Errorf("snapshot %d missing from merged store", k)
+		}
+	}
+}
+
+func TestMergeRefusesDivergentSnapshots(t *testing.T) {
+	mkdir := func(val []byte) string {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutSnapshot(fakeSnapKey(7), val); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	a := mkdir(fakeSnap(7))
+	b := mkdir(fakeSnap(8))
+	if _, err := Merge(t.TempDir(), a, b); err == nil {
+		t.Fatal("divergent snapshots merged")
+	} else if !strings.Contains(err.Error(), "snapshot") {
+		t.Errorf("divergence error does not name snapshots: %v", err)
+	}
+}

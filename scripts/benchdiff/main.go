@@ -17,7 +17,10 @@
 // -json the comparison is emitted as a machine-readable document: per
 // benchmark every metric of both sides, the speedup on the headline
 // metric (ns/inst when present, ns/op otherwise), and the geometric mean
-// of the speedups. With -threshold PCT the command exits 1 when the
+// of the speedups. Benchmarks or metrics present on only one side render
+// as one-sided rows ("old only" / "new only") instead of being dropped;
+// speedups and the geomean cover only the benchmarks present on both
+// sides. With -threshold PCT the command exits 1 when the
 // geomean speedup falls below 1-PCT/100 — a drop-in CI regression gate.
 package main
 
@@ -177,27 +180,10 @@ func main() {
 		fatal(fmt.Errorf("%s contains no benchmark lines", newPath))
 	}
 
-	doc := jsonDoc{OldFile: oldPath, NewFile: newPath}
+	doc := buildDoc(oldB, newB, order)
+	doc.OldFile, doc.NewFile = oldPath, newPath
 	if len(extra) > 0 {
 		doc.Extra = extra
-	}
-	logSum, logN := 0.0, 0
-	for _, name := range order {
-		nb := newB[name]
-		jb := jsonBench{Name: name, New: nb.metrics, Headline: headline(nb)}
-		if ob, ok := oldB[name]; ok {
-			jb.Old = ob.metrics
-			o, n := ob.metrics[jb.Headline], nb.metrics[jb.Headline]
-			if o > 0 && n > 0 {
-				jb.Speedup = o / n
-				logSum += math.Log(jb.Speedup)
-				logN++
-			}
-		}
-		doc.Benchmarks = append(doc.Benchmarks, jb)
-	}
-	if logN > 0 {
-		doc.GeomeanSpeedup = math.Exp(logSum / float64(logN))
 	}
 
 	if *asJSON {
@@ -220,22 +206,8 @@ func main() {
 		}
 	} else {
 		w.row("benchmark", "metric", "old", "new", "delta")
-		for _, jb := range doc.Benchmarks {
-			for _, unit := range sortedUnits(jb.New) {
-				o, ok := jb.Old[unit]
-				if !ok {
-					continue
-				}
-				n := jb.New[unit]
-				delta := "~"
-				if o > 0 {
-					delta = fmt.Sprintf("%+.1f%%", (n-o)/o*100)
-					if unit == jb.Headline && n > 0 {
-						delta += fmt.Sprintf(" (%.2fx)", o/n)
-					}
-				}
-				w.row(jb.Name, unit, fmt.Sprintf("%.6g", o), fmt.Sprintf("%.6g", n), delta)
-			}
+		for _, r := range diffRows(doc) {
+			w.row(r...)
 		}
 		if doc.GeomeanSpeedup > 0 {
 			w.row("GEOMEAN", "", "", "", fmt.Sprintf("%.2fx", doc.GeomeanSpeedup))
@@ -243,6 +215,85 @@ func main() {
 	}
 	w.flush(os.Stdout)
 	checkThreshold(doc, *threshold)
+}
+
+// buildDoc assembles the comparison: benchmarks in new-file order, then
+// any present only in the old file (sorted) so a removed benchmark is
+// still visible as a one-sided row rather than silently vanishing. The
+// speedup and the geomean cover the benchmarks present on both sides.
+func buildDoc(oldB, newB map[string]bench, order []string) jsonDoc {
+	var doc jsonDoc
+	logSum, logN := 0.0, 0
+	for _, name := range order {
+		nb := newB[name]
+		jb := jsonBench{Name: name, New: nb.metrics, Headline: headline(nb)}
+		if ob, ok := oldB[name]; ok {
+			jb.Old = ob.metrics
+			o, n := ob.metrics[jb.Headline], nb.metrics[jb.Headline]
+			if o > 0 && n > 0 {
+				jb.Speedup = o / n
+				logSum += math.Log(jb.Speedup)
+				logN++
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, jb)
+	}
+	var oldOnly []string
+	for name := range oldB {
+		if _, ok := newB[name]; !ok {
+			oldOnly = append(oldOnly, name)
+		}
+	}
+	sort.Strings(oldOnly)
+	for _, name := range oldOnly {
+		ob := oldB[name]
+		doc.Benchmarks = append(doc.Benchmarks, jsonBench{Name: name, Old: ob.metrics, Headline: headline(ob)})
+	}
+	if logN > 0 {
+		doc.GeomeanSpeedup = math.Exp(logSum / float64(logN))
+	}
+	return doc
+}
+
+// diffRows renders the before/after table body. A metric present on only
+// one side gets a one-sided row ("-" on the missing side, "old only" /
+// "new only" in the delta column) instead of being dropped.
+func diffRows(doc jsonDoc) [][]string {
+	var rows [][]string
+	for _, jb := range doc.Benchmarks {
+		units := map[string]bool{}
+		for u := range jb.Old {
+			units[u] = true
+		}
+		for u := range jb.New {
+			units[u] = true
+		}
+		sorted := make([]string, 0, len(units))
+		for u := range units {
+			sorted = append(sorted, u)
+		}
+		sort.Strings(sorted)
+		for _, unit := range sorted {
+			o, haveOld := jb.Old[unit]
+			n, haveNew := jb.New[unit]
+			switch {
+			case !haveOld:
+				rows = append(rows, []string{jb.Name, unit, "-", fmt.Sprintf("%.6g", n), "new only"})
+			case !haveNew:
+				rows = append(rows, []string{jb.Name, unit, fmt.Sprintf("%.6g", o), "-", "old only"})
+			default:
+				delta := "~"
+				if o > 0 {
+					delta = fmt.Sprintf("%+.1f%%", (n-o)/o*100)
+					if unit == jb.Headline && n > 0 {
+						delta += fmt.Sprintf(" (%.2fx)", o/n)
+					}
+				}
+				rows = append(rows, []string{jb.Name, unit, fmt.Sprintf("%.6g", o), fmt.Sprintf("%.6g", n), delta})
+			}
+		}
+	}
+	return rows
 }
 
 // checkThreshold turns benchdiff into a CI gate: with -threshold set and a

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, lines string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestOneSidedBenchmarks: a benchmark present on only one side must
+// surface as a one-sided row — in the document and the table — instead
+// of being dropped silently, and must not perturb the geomean.
+func TestOneSidedBenchmarks(t *testing.T) {
+	oldPath := writeBench(t, `
+BenchmarkShared-4      100  200.0 ns/op  64 B/op
+BenchmarkRemoved-4     100  999.0 ns/op
+`)
+	newPath := writeBench(t, `
+BenchmarkShared-4      100  100.0 ns/op
+BenchmarkAdded-4       100  50.0 ns/op
+`)
+	oldB, _, err := parseFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newB, order, err := parseFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := buildDoc(oldB, newB, order)
+
+	names := map[string]jsonBench{}
+	for _, jb := range doc.Benchmarks {
+		names[jb.Name] = jb
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3 (shared, added, removed)", len(doc.Benchmarks))
+	}
+	if jb, ok := names["BenchmarkAdded"]; !ok || jb.Old != nil || jb.Speedup != 0 {
+		t.Errorf("new-only benchmark mishandled: %+v", jb)
+	}
+	if jb, ok := names["BenchmarkRemoved"]; !ok || jb.New != nil || jb.Speedup != 0 {
+		t.Errorf("old-only benchmark mishandled: %+v", jb)
+	}
+	if got := names["BenchmarkShared"].Speedup; got != 2.0 {
+		t.Errorf("shared speedup = %v, want 2.0", got)
+	}
+	// Geomean covers only the shared benchmark.
+	if math.Abs(doc.GeomeanSpeedup-2.0) > 1e-9 {
+		t.Errorf("geomean = %v, want 2.0", doc.GeomeanSpeedup)
+	}
+
+	rows := diffRows(doc)
+	var added, removed, sharedBop string
+	for _, r := range rows {
+		key := r[0] + "/" + r[1]
+		switch key {
+		case "BenchmarkAdded/ns/op":
+			added = strings.Join(r, " ")
+		case "BenchmarkRemoved/ns/op":
+			removed = strings.Join(r, " ")
+		case "BenchmarkShared/B/op":
+			sharedBop = strings.Join(r, " ")
+		}
+	}
+	if !strings.Contains(added, "new only") || !strings.Contains(added, "-") {
+		t.Errorf("new-only row not rendered one-sided: %q", added)
+	}
+	if !strings.Contains(removed, "old only") || !strings.Contains(removed, "999") {
+		t.Errorf("old-only row not rendered one-sided: %q", removed)
+	}
+	// A metric present on one side of a shared benchmark is one-sided too.
+	if !strings.Contains(sharedBop, "old only") {
+		t.Errorf("one-sided metric of a shared benchmark dropped: %q", sharedBop)
+	}
+}
